@@ -1,0 +1,58 @@
+// Regenerates Table 2: Campion's output on the Figure 1 route maps — two
+// complete differences with Included/Excluded prefix ranges, community
+// example, actions, and responsible text. Then times SemanticDiff +
+// HeaderLocalize on the pair.
+
+#include "bench/bench_util.h"
+#include "core/config_diff.h"
+#include "tests/testdata.h"
+
+namespace {
+
+campion::ir::RouterConfig Cisco() {
+  return campion::testing::ParseCiscoOrDie(campion::testing::kFig1Cisco);
+}
+campion::ir::RouterConfig Juniper() {
+  return campion::testing::ParseJuniperOrDie(campion::testing::kFig1Juniper);
+}
+
+void PrintTable2() {
+  auto cisco = Cisco();
+  auto juniper = Juniper();
+  auto diffs = campion::core::DiffRouteMapPair(cisco, "POL", juniper, "POL");
+  std::cout << "Campion finds " << diffs.size()
+            << " differences between the Figure 1 route maps (paper: 2)\n\n";
+  int index = 1;
+  for (const auto& diff : diffs) {
+    std::cout << "(" << index++ << ") " << diff.title << "\n"
+              << diff.table << "\n";
+  }
+}
+
+void BM_SemanticDiffFig1(benchmark::State& state) {
+  auto cisco = Cisco();
+  auto juniper = Juniper();
+  for (auto _ : state) {
+    auto diffs =
+        campion::core::DiffRouteMapPair(cisco, "POL", juniper, "POL");
+    benchmark::DoNotOptimize(diffs);
+  }
+}
+BENCHMARK(BM_SemanticDiffFig1)->Unit(benchmark::kMillisecond);
+
+void BM_ParseFig1Pair(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cisco = Cisco();
+    auto juniper = Juniper();
+    benchmark::DoNotOptimize(cisco);
+    benchmark::DoNotOptimize(juniper);
+  }
+}
+BENCHMARK(BM_ParseFig1Pair)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return campion::benchutil::RunBench(
+      argc, argv, "Table 2: route map differences (Figure 1)", PrintTable2);
+}

@@ -1,0 +1,58 @@
+// Regenerates Tables 3 and 5: the Minesweeper-style monolithic baseline on
+// the Figure 1 route maps (a single concrete counterexample with no
+// localization) and on the static routes (a single packet, no prefix, no
+// attributes, no text). Contrast with bench_table2 / bench_table4.
+
+#include "baseline/monolithic.h"
+#include "bench/bench_util.h"
+#include "tests/testdata.h"
+
+namespace {
+
+void PrintTables() {
+  auto cisco = campion::testing::ParseCiscoOrDie(campion::testing::kFig1Cisco);
+  auto juniper =
+      campion::testing::ParseJuniperOrDie(campion::testing::kFig1Juniper);
+
+  std::cout << "--- Table 3: monolithic check of the Figure 1 route maps "
+               "---\n";
+  campion::baseline::MonolithicRouteMapChecker checker(
+      cisco, *cisco.FindRouteMap("POL"), juniper,
+      *juniper.FindRouteMap("POL"));
+  std::cout << (checker.Equivalent() ? "equivalent\n" : "NOT equivalent\n");
+  if (auto counterexample = checker.Next()) {
+    std::cout << counterexample->ToString("cisco_router", "juniper_router");
+  }
+  std::cout << "(one counterexample; no set of affected prefixes, no "
+               "responsible lines)\n\n";
+
+  std::cout << "--- Table 5: monolithic check of the static routes ---\n";
+  if (auto counterexample =
+          campion::baseline::MonolithicStaticRouteCheck(cisco, juniper)) {
+    std::cout << counterexample->ToString("cisco_router", "juniper_router");
+  }
+  std::cout << "(no prefix, no admin distance, no configuration text)\n";
+}
+
+void BM_MonolithicCheckFig1(benchmark::State& state) {
+  auto cisco = campion::testing::ParseCiscoOrDie(campion::testing::kFig1Cisco);
+  auto juniper =
+      campion::testing::ParseJuniperOrDie(campion::testing::kFig1Juniper);
+  for (auto _ : state) {
+    campion::baseline::MonolithicRouteMapChecker checker(
+        cisco, *cisco.FindRouteMap("POL"), juniper,
+        *juniper.FindRouteMap("POL"));
+    auto counterexample = checker.Next();
+    benchmark::DoNotOptimize(counterexample);
+  }
+}
+BENCHMARK(BM_MonolithicCheckFig1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return campion::benchutil::RunBench(
+      argc, argv,
+      "Tables 3 and 5: Minesweeper-style baseline (single counterexamples)",
+      PrintTables);
+}

@@ -1,0 +1,92 @@
+// Regenerates Table 8: university network results — per-route-map raw
+// difference counts for the core and border pairs (8a) and the structural
+// static-route / BGP-property classes (8b).
+
+#include "bench/bench_util.h"
+#include "core/config_diff.h"
+#include "core/structural_diff.h"
+#include "gen/scenarios.h"
+#include "util/text_table.h"
+
+namespace {
+
+void PrintTable8() {
+  campion::gen::UniversityScenario scenario =
+      campion::gen::BuildUniversityScenario();
+
+  auto count = [](const campion::gen::RouterPair& pair,
+                  const std::string& name) {
+    return campion::core::DiffRouteMapPair(pair.config1, name, pair.config2,
+                                           name)
+        .size();
+  };
+
+  std::cout << "(a) SemanticDiff results on route maps\n";
+  campion::util::TextTable a(
+      {"Router Pair", "Route Map", "Outputted Differences", "Paper"});
+  const char* paper_core[] = {"5", "1"};
+  int index = 0;
+  for (const auto& name : scenario.core_exports) {
+    a.AddRow({"Core Routers", name,
+              std::to_string(count(scenario.core, name)),
+              paper_core[index++]});
+  }
+  const char* paper_border[] = {"1", "1", "2"};
+  index = 0;
+  for (const auto& name : scenario.border_exports) {
+    a.AddRow({"Border Routers", name,
+              std::to_string(count(scenario.border, name)),
+              paper_border[index++]});
+  }
+  a.AddRow({"Core Routers", scenario.import_policy,
+            std::to_string(count(scenario.core, scenario.import_policy)),
+            "0"});
+  std::cout << a.Render() << "\n";
+
+  std::cout << "(b) StructuralDiff results\n";
+  auto statics = campion::core::DiffStaticRoutes(scenario.core.config1,
+                                                 scenario.core.config2);
+  int next_hop = 0;
+  int presence = 0;
+  for (const auto& diff : statics) {
+    if (diff.field == "next hop") ++next_hop;
+    if (diff.field == "presence") ++presence;
+  }
+  auto bgp = campion::core::DiffBgpProperties(scenario.core.config1,
+                                              scenario.core.config2);
+  campion::util::TextTable b(
+      {"Router Pair", "Component", "Classes of Errors", "Paper"});
+  b.AddRow({"Core Routers", "Static Routes",
+            std::to_string((next_hop > 0 ? 1 : 0) + (presence > 0 ? 1 : 0)),
+            "2"});
+  b.AddRow({"Core Routers", "BGP Properties",
+            std::to_string(bgp.empty() ? 0 : 1), "1"});
+  std::cout << b.Render();
+}
+
+void BM_CompareCorePair(benchmark::State& state) {
+  auto scenario = campion::gen::BuildUniversityScenario();
+  for (auto _ : state) {
+    auto report = campion::core::ConfigDiff(scenario.core.config1,
+                                            scenario.core.config2);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_CompareCorePair)->Unit(benchmark::kMillisecond);
+
+void BM_CompareBorderPair(benchmark::State& state) {
+  auto scenario = campion::gen::BuildUniversityScenario();
+  for (auto _ : state) {
+    auto report = campion::core::ConfigDiff(scenario.border.config1,
+                                            scenario.border.config2);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_CompareBorderPair)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return campion::benchutil::RunBench(
+      argc, argv, "Table 8: university network results", PrintTable8);
+}

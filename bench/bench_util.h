@@ -1,0 +1,33 @@
+#pragma once
+
+// Shared helpers for the benchmark/report binaries. Each bench binary
+// regenerates one table or figure of the paper: it first prints the
+// reproduced artifact (so `./bench_tableN` output can be compared against
+// the paper directly), then runs google-benchmark timings for the
+// operations involved.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+namespace campion::benchutil {
+
+inline void PrintHeader(const std::string& title) {
+  std::cout << "\n==================================================\n"
+            << title << "\n"
+            << "==================================================\n";
+}
+
+// Runs the artifact printer, then benchmark main.
+template <typename Fn>
+int RunBench(int argc, char** argv, const std::string& title, Fn&& print) {
+  PrintHeader(title);
+  print();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace campion::benchutil

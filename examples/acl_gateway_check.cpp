@@ -1,0 +1,30 @@
+// Gateway ACL consistency check (the paper's §5.1 Scenario 3): all gateway
+// routers must enforce identical access-control policy. Compares each
+// synthesized Cisco/Juniper gateway pair and prints localized ACL
+// differences in the shape of Table 7.
+
+#include <iostream>
+
+#include "core/config_diff.h"
+#include "gen/scenarios.h"
+
+int main() {
+  campion::gen::DataCenterScenario scenario =
+      campion::gen::BuildDataCenterScenario();
+
+  int differing_pairs = 0;
+  for (const auto& pair : scenario.gateway_pairs) {
+    auto diffs = campion::core::DiffAclPair(pair.config1, pair.config2,
+                                            "VM_FILTER_1");
+    std::cout << pair.label << ": " << diffs.size()
+              << " ACL difference(s)\n";
+    if (diffs.empty()) continue;
+    ++differing_pairs;
+    for (const auto& diff : diffs) {
+      std::cout << diff.table << "\n";
+    }
+  }
+  std::cout << differing_pairs
+            << " gateway pair(s) have inconsistent access control.\n";
+  return differing_pairs == 0 ? 0 : 2;
+}

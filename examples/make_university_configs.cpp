@@ -1,0 +1,48 @@
+// Emits the synthesized university network as native configuration files
+// (Cisco IOS and JunOS), padded to roughly the paper's real config sizes.
+// The checked-in files under examples/configs/ were produced by this tool:
+//
+//   ./make_university_configs [output-dir]
+//
+// Compare them with the CLI afterwards:
+//
+//   ./campion university_core_cisco.cfg university_core_juniper.conf
+
+#include <fstream>
+#include <iostream>
+
+#include "cisco/cisco_unparser.h"
+#include "gen/scenarios.h"
+#include "juniper/juniper_unparser.h"
+#include "util/text_table.h"
+
+namespace {
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "error: cannot write " << path << "\n";
+    exit(1);
+  }
+  file << content;
+  std::size_t lines = campion::util::SplitLines(content).size();
+  std::cout << "wrote " << path << " (" << lines << " lines)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : ".";
+  campion::gen::UniversityScenario scenario =
+      campion::gen::BuildUniversityScenario(/*filler_components=*/900);
+
+  WriteFile(dir + "/university_core_cisco.cfg",
+            campion::cisco::UnparseCiscoConfig(scenario.core.config1));
+  WriteFile(dir + "/university_core_juniper.conf",
+            campion::juniper::UnparseJuniperConfig(scenario.core.config2));
+  WriteFile(dir + "/university_border_cisco.cfg",
+            campion::cisco::UnparseCiscoConfig(scenario.border.config1));
+  WriteFile(dir + "/university_border_juniper.conf",
+            campion::juniper::UnparseJuniperConfig(scenario.border.config2));
+  return 0;
+}

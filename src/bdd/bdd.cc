@@ -1,0 +1,201 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace campion::bdd {
+
+BddManager::BddManager(Var num_vars) : num_vars_(num_vars) {
+  nodes_.push_back({kTerminalVar, kFalse, kFalse});  // 0: false terminal
+  nodes_.push_back({kTerminalVar, kTrue, kTrue});    // 1: true terminal
+  var_true_.resize(num_vars_, kFalse);
+}
+
+Var BddManager::AddVars(Var count) {
+  Var first = num_vars_;
+  num_vars_ += count;
+  var_true_.resize(num_vars_, kFalse);
+  return first;
+}
+
+BddRef BddManager::VarTrue(Var v) {
+  assert(v < num_vars_);
+  if (var_true_[v] == kFalse) {
+    var_true_[v] = MakeNode(v, kFalse, kTrue);
+  }
+  return var_true_[v];
+}
+
+BddRef BddManager::VarFalse(Var v) { return Not(VarTrue(v)); }
+
+BddRef BddManager::MakeNode(Var var, BddRef low, BddRef high) {
+  if (low == high) return low;
+  NodeKey key{var, low, high};
+  auto [it, inserted] = unique_.try_emplace(key, 0);
+  if (inserted) {
+    it->second = static_cast<BddRef>(nodes_.size());
+    nodes_.push_back({var, low, high});
+  }
+  return it->second;
+}
+
+BddRef BddManager::Ite(BddRef f, BddRef g, BddRef h) { return IteRec(f, g, h); }
+
+BddRef BddManager::IteRec(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  IteKey key{f, g, h};
+  if (auto it = ite_cache_.find(key); it != ite_cache_.end()) {
+    return it->second;
+  }
+
+  Var vf = nodes_[f].var;
+  Var vg = nodes_[g].var;  // kTerminalVar if terminal, sorts after all vars.
+  Var vh = nodes_[h].var;
+  Var top = std::min({vf, vg, vh});
+
+  BddRef f0 = vf == top ? nodes_[f].low : f;
+  BddRef f1 = vf == top ? nodes_[f].high : f;
+  BddRef g0 = vg == top ? nodes_[g].low : g;
+  BddRef g1 = vg == top ? nodes_[g].high : g;
+  BddRef h0 = vh == top ? nodes_[h].low : h;
+  BddRef h1 = vh == top ? nodes_[h].high : h;
+
+  BddRef low = IteRec(f0, g0, h0);
+  BddRef high = IteRec(f1, g1, h1);
+  BddRef result = MakeNode(top, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+double BddManager::SatCount(BddRef f) {
+  std::unordered_map<BddRef, double> memo;
+  // SatCountRec counts assignments to variables strictly below the node's
+  // own variable; scale by the free variables above the root.
+  double below = SatCountRec(f, memo);
+  Var root_var = IsTerminal(f) ? num_vars_ : nodes_[f].var;
+  return below * std::pow(2.0, static_cast<double>(root_var));
+}
+
+double BddManager::SatCountRec(BddRef f,
+                               std::unordered_map<BddRef, double>& memo) {
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) return 1.0;
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  const Node& n = nodes_[f];
+  auto weight = [&](BddRef child) {
+    Var child_var = IsTerminal(child) ? num_vars_ : nodes_[child].var;
+    return SatCountRec(child, memo) *
+           std::pow(2.0, static_cast<double>(child_var - n.var - 1));
+  };
+  double count = weight(n.low) + weight(n.high);
+  memo.emplace(f, count);
+  return count;
+}
+
+std::size_t BddManager::NodeCount(BddRef f) const {
+  std::set<BddRef> seen;
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    BddRef n = stack.back();
+    stack.pop_back();
+    if (IsTerminal(n) || !seen.insert(n).second) continue;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  return seen.size();
+}
+
+std::vector<Var> BddManager::Support(BddRef f) const {
+  std::set<Var> vars;
+  std::set<BddRef> seen;
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    BddRef n = stack.back();
+    stack.pop_back();
+    if (IsTerminal(n) || !seen.insert(n).second) continue;
+    vars.insert(nodes_[n].var);
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  return {vars.begin(), vars.end()};
+}
+
+std::optional<Cube> BddManager::AnySat(BddRef f) const {
+  if (f == kFalse) return std::nullopt;
+  Cube cube(num_vars_, -1);
+  while (f != kTrue) {
+    const Node& n = nodes_[f];
+    if (n.high != kFalse) {
+      cube[n.var] = 1;
+      f = n.high;
+    } else {
+      cube[n.var] = 0;
+      f = n.low;
+    }
+  }
+  return cube;
+}
+
+std::optional<Cube> BddManager::MinSat(BddRef f) const {
+  if (f == kFalse) return std::nullopt;
+  Cube cube(num_vars_, 0);  // Don't-cares resolve to 0 (lexicographic least).
+  while (f != kTrue) {
+    const Node& n = nodes_[f];
+    if (n.low != kFalse) {
+      cube[n.var] = 0;
+      f = n.low;
+    } else {
+      cube[n.var] = 1;
+      f = n.high;
+    }
+  }
+  return cube;
+}
+
+void BddManager::ForEachSatPath(
+    BddRef f, const std::function<void(const Cube&)>& fn) const {
+  if (f == kFalse) return;
+  Cube cube(num_vars_, -1);
+  std::function<void(BddRef)> rec = [&](BddRef g) {
+    if (g == kFalse) return;
+    if (g == kTrue) {
+      fn(cube);
+      return;
+    }
+    const Node& n = nodes_[g];
+    cube[n.var] = 0;
+    rec(n.low);
+    cube[n.var] = 1;
+    rec(n.high);
+    cube[n.var] = -1;
+  };
+  rec(f);
+}
+
+BddRef BddManager::Exists(BddRef f, const std::vector<bool>& quantified) {
+  std::unordered_map<BddRef, BddRef> memo;
+  return ExistsRec(f, quantified, memo);
+}
+
+BddRef BddManager::ExistsRec(BddRef f, const std::vector<bool>& quantified,
+                             std::unordered_map<BddRef, BddRef>& memo) {
+  if (IsTerminal(f)) return f;
+  if (auto it = memo.find(f); it != memo.end()) return it->second;
+  const Node n = nodes_[f];  // Copy: nodes_ may reallocate during recursion.
+  BddRef low = ExistsRec(n.low, quantified, memo);
+  BddRef high = ExistsRec(n.high, quantified, memo);
+  BddRef result = (n.var < quantified.size() && quantified[n.var])
+                      ? Or(low, high)
+                      : MakeNode(n.var, low, high);
+  memo.emplace(f, result);
+  return result;
+}
+
+}  // namespace campion::bdd

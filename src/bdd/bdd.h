@@ -1,0 +1,157 @@
+#pragma once
+
+// A from-scratch reduced ordered binary decision diagram (ROBDD) package.
+//
+// This is Campion's symbolic substrate, standing in for the JavaBDD library
+// used by the paper. Sets of packets, route advertisements, and IP prefix
+// ranges are all encoded as BDDs over a fixed variable order (see
+// src/encode). The kernel is deliberately classic: a grow-only node arena,
+// a unique table guaranteeing canonicity, and an ITE operation with a
+// computed-table cache. There is no garbage collection; managers are cheap
+// and each differencing task owns one, so nodes live for the task.
+//
+// Node references (BddRef) are indices into the manager's arena and are only
+// meaningful with respect to the manager that produced them. Reference 0 is
+// the false terminal and 1 is the true terminal; equal references denote
+// equal Boolean functions (canonicity), so equivalence checks are O(1).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace campion::bdd {
+
+using BddRef = std::uint32_t;
+using Var = std::uint32_t;
+
+inline constexpr BddRef kFalse = 0;
+inline constexpr BddRef kTrue = 1;
+
+// A (possibly partial) truth assignment: one entry per variable,
+// -1 = don't care, 0 = false, 1 = true.
+using Cube = std::vector<std::int8_t>;
+
+class BddManager {
+ public:
+  // `num_vars` fixes the variable order up front (variables 0..num_vars-1,
+  // variable 0 at the top). More variables may be added later with AddVars.
+  explicit BddManager(Var num_vars = 0);
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  Var num_vars() const { return num_vars_; }
+  // Extends the order with `count` fresh variables below the existing ones;
+  // returns the index of the first new variable.
+  Var AddVars(Var count);
+
+  // --- Leaf constructors -------------------------------------------------
+  BddRef False() const { return kFalse; }
+  BddRef True() const { return kTrue; }
+  BddRef VarTrue(Var v);   // The function "variable v is 1".
+  BddRef VarFalse(Var v);  // The function "variable v is 0".
+
+  // --- Boolean connectives ------------------------------------------------
+  BddRef Ite(BddRef f, BddRef g, BddRef h);
+  BddRef And(BddRef f, BddRef g) { return Ite(f, g, kFalse); }
+  BddRef Or(BddRef f, BddRef g) { return Ite(f, kTrue, g); }
+  BddRef Not(BddRef f) { return Ite(f, kFalse, kTrue); }
+  BddRef Xor(BddRef f, BddRef g) { return Ite(f, Not(g), g); }
+  BddRef Diff(BddRef f, BddRef g) { return Ite(g, kFalse, f); }
+  BddRef Implies(BddRef f, BddRef g) { return Ite(f, g, kTrue); }
+  BddRef Iff(BddRef f, BddRef g) { return Ite(f, g, Not(g)); }
+
+  // --- Queries -------------------------------------------------------------
+  bool IsFalse(BddRef f) const { return f == kFalse; }
+  bool IsTrue(BddRef f) const { return f == kTrue; }
+  // f => g, i.e. f ∧ ¬g is empty.
+  bool Subset(BddRef f, BddRef g) { return And(f, Not(g)) == kFalse; }
+  // f ∧ g non-empty.
+  bool Intersects(BddRef f, BddRef g) { return And(f, g) != kFalse; }
+
+  // Number of satisfying total assignments over all num_vars() variables.
+  // Exact for up to 2^53 assignments; beyond that, the usual double rounding.
+  double SatCount(BddRef f);
+
+  // Number of internal (non-terminal) nodes reachable from f.
+  std::size_t NodeCount(BddRef f) const;
+  // Total nodes allocated in this manager (arena size, including terminals).
+  std::size_t ArenaSize() const { return nodes_.size(); }
+
+  // The set of variables f depends on.
+  std::vector<Var> Support(BddRef f) const;
+
+  // --- Satisfying assignments ----------------------------------------------
+  // One satisfying path as a partial cube, or nullopt if f is false.
+  std::optional<Cube> AnySat(BddRef f) const;
+  // The lexicographically least *total* satisfying assignment (variable 0 is
+  // the most significant position, false < true). Deterministic: this is the
+  // baseline checker's stand-in for an SMT solver's model order.
+  std::optional<Cube> MinSat(BddRef f) const;
+  // Invokes `fn` for every satisfying path (partial cube). Paths are visited
+  // in BDD order; the number of paths can be exponential in pathological
+  // cases, so callers use this only on localized difference sets.
+  void ForEachSatPath(BddRef f, const std::function<void(const Cube&)>& fn) const;
+
+  // --- Quantification -------------------------------------------------------
+  // Existentially quantifies every variable for which `quantified[v]` holds.
+  // `quantified` may be shorter than num_vars(); missing entries are false.
+  BddRef Exists(BddRef f, const std::vector<bool>& quantified);
+
+  // Structure access (used by encode/ for prefix extraction).
+  Var NodeVar(BddRef f) const { return nodes_[f].var; }
+  BddRef NodeLow(BddRef f) const { return nodes_[f].low; }
+  BddRef NodeHigh(BddRef f) const { return nodes_[f].high; }
+  bool IsTerminal(BddRef f) const { return f <= kTrue; }
+
+ private:
+  struct Node {
+    Var var;  // kTerminalVar for terminals.
+    BddRef low;
+    BddRef high;
+  };
+  static constexpr Var kTerminalVar = ~Var{0};
+
+  struct NodeKey {
+    Var var;
+    BddRef low;
+    BddRef high;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::size_t h = k.var;
+      h = h * 0x9e3779b97f4a7c15ull + k.low;
+      h = h * 0x9e3779b97f4a7c15ull + k.high;
+      return h;
+    }
+  };
+  struct IteKey {
+    BddRef f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::size_t h = k.f;
+      h = h * 0x9e3779b97f4a7c15ull + k.g;
+      h = h * 0x9e3779b97f4a7c15ull + k.h;
+      return h;
+    }
+  };
+
+  BddRef MakeNode(Var var, BddRef low, BddRef high);
+  BddRef IteRec(BddRef f, BddRef g, BddRef h);
+  BddRef ExistsRec(BddRef f, const std::vector<bool>& quantified,
+                   std::unordered_map<BddRef, BddRef>& memo);
+  double SatCountRec(BddRef f, std::unordered_map<BddRef, double>& memo);
+
+  Var num_vars_;
+  std::vector<Node> nodes_;
+  std::vector<BddRef> var_true_;  // Cache of single-variable functions.
+  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
+  std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
+};
+
+}  // namespace campion::bdd

@@ -1,0 +1,33 @@
+#pragma once
+
+// Cisco IOS configuration frontend. Parses the IOS feature subset exercised
+// by the paper — prefix lists, standard community lists, route maps,
+// extended ACLs (named and numbered), static routes, interfaces, OSPF, and
+// BGP — into the vendor-independent IR, recording source line spans on
+// every component for text localization.
+//
+// Lines the parser does not understand are collected as diagnostics rather
+// than failing the parse: real configurations are full of directives
+// irrelevant to routing behavior.
+
+#include <string>
+#include <vector>
+
+#include "ir/config.h"
+
+namespace campion::cisco {
+
+struct ParseResult {
+  ir::RouterConfig config;
+  // Unrecognized or malformed lines ("file:line: message").
+  std::vector<std::string> diagnostics;
+};
+
+ParseResult ParseCiscoConfig(const std::string& text,
+                             const std::string& filename = "<input>");
+
+// Convenience: reads the file and parses it. Throws std::runtime_error if
+// the file cannot be read.
+ParseResult ParseCiscoFile(const std::string& path);
+
+}  // namespace campion::cisco

@@ -1,0 +1,23 @@
+#pragma once
+
+// Emits canonical Cisco IOS configuration text from the vendor-independent
+// IR. Used by the workload generator (which builds IR directly) and by the
+// round-trip tests (unparse → parse → compare). The emitted text parses
+// back to an equivalent RouterConfig.
+
+#include <string>
+
+#include "ir/config.h"
+
+namespace campion::cisco {
+
+std::string UnparseCiscoConfig(const ir::RouterConfig& config);
+
+// Individual components (useful for synthesizing partial configs).
+std::string UnparsePrefixList(const ir::PrefixList& list);
+std::string UnparseCommunityList(const ir::CommunityList& list);
+std::string UnparseRouteMap(const ir::RouteMap& map);
+std::string UnparseAcl(const ir::Acl& acl);
+std::string UnparseStaticRoute(const ir::StaticRoute& route);
+
+}  // namespace campion::cisco

@@ -1,0 +1,229 @@
+#include "core/config_diff.h"
+
+#include <set>
+
+#include "bdd/bdd.h"
+#include "core/semantic_diff.h"
+#include "core/structural_diff.h"
+#include "encode/packet.h"
+#include "encode/route_adv.h"
+
+namespace campion::core {
+namespace {
+
+// The accept-everything route map that models "no policy configured".
+ir::RouteMap PassThroughMap() {
+  ir::RouteMap map;
+  map.name = "(no policy)";
+  map.default_action = ir::ClauseAction::kPermit;
+  return map;
+}
+
+// Resolves a route map by name, falling back to pass-through for the empty
+// name and recording a warning for a dangling reference.
+const ir::RouteMap* ResolveMap(const ir::RouterConfig& config,
+                               const std::string& name,
+                               const ir::RouteMap& fallback,
+                               std::vector<std::string>* warnings) {
+  if (name.empty()) return &fallback;
+  const ir::RouteMap* map = config.FindRouteMap(name);
+  if (map == nullptr) {
+    if (warnings != nullptr) {
+      warnings->push_back("route map " + name + " referenced but not defined in " +
+                          config.hostname + "; treating as accept-all");
+    }
+    return &fallback;
+  }
+  return map;
+}
+
+std::vector<PresentedDifference> DiffRouteMapPairImpl(
+    const ir::RouterConfig& config1, const std::string& name1,
+    const ir::RouterConfig& config2, const std::string& name2,
+    std::vector<std::string>* warnings) {
+  ir::RouteMap fallback = PassThroughMap();
+  const ir::RouteMap* map1 = ResolveMap(config1, name1, fallback, warnings);
+  const ir::RouteMap* map2 = ResolveMap(config2, name2, fallback, warnings);
+
+  // One manager per pair keeps arenas small and lifetimes obvious.
+  bdd::BddManager mgr;
+  std::vector<util::Community> communities = config1.AllCommunities();
+  auto more = config2.AllCommunities();
+  communities.insert(communities.end(), more.begin(), more.end());
+  encode::RouteAdvLayout layout(mgr, std::move(communities));
+
+  std::vector<RouteMapDifference> diffs =
+      SemanticDiffRouteMaps(layout, config1, *map1, config2, *map2);
+  std::vector<PresentedDifference> presented;
+  presented.reserve(diffs.size());
+  for (const auto& diff : diffs) {
+    presented.push_back(PresentRouteMapDifference(
+        layout, diff, config1, config2, map1->name, map2->name));
+  }
+  return presented;
+}
+
+}  // namespace
+
+int DiffReport::CountOf(DifferenceEntry::Kind kind) const {
+  int count = 0;
+  for (const auto& entry : entries) {
+    if (entry.kind == kind) ++count;
+  }
+  return count;
+}
+
+bool DiffReport::Equivalent() const {
+  for (const auto& entry : entries) {
+    if (entry.kind != DifferenceEntry::Kind::kWarning) return false;
+  }
+  return true;
+}
+
+std::string DiffReport::Render() const {
+  if (entries.empty()) {
+    return "No differences found: the configurations are behaviorally "
+           "equivalent for all supported components.\n";
+  }
+  std::string out;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out += "=== [" + std::to_string(i + 1) + "] " + entries[i].title + " ===\n";
+    out += entries[i].rendered;
+    if (!out.empty() && out.back() != '\n') out += "\n";
+    out += "\n";
+  }
+  out += "Summary: " +
+         std::to_string(CountOf(DifferenceEntry::Kind::kRouteMapSemantic)) +
+         " route-map, " +
+         std::to_string(CountOf(DifferenceEntry::Kind::kAclSemantic)) +
+         " ACL, " +
+         std::to_string(CountOf(DifferenceEntry::Kind::kStructural)) +
+         " structural difference(s); " +
+         std::to_string(CountOf(DifferenceEntry::Kind::kUnmatched)) +
+         " unmatched component(s), " +
+         std::to_string(CountOf(DifferenceEntry::Kind::kWarning)) +
+         " warning(s)\n";
+  return out;
+}
+
+std::vector<PresentedDifference> DiffRouteMapPair(
+    const ir::RouterConfig& config1, const std::string& name1,
+    const ir::RouterConfig& config2, const std::string& name2) {
+  return DiffRouteMapPairImpl(config1, name1, config2, name2, nullptr);
+}
+
+std::vector<PresentedDifference> DiffAclPair(const ir::RouterConfig& config1,
+                                             const ir::RouterConfig& config2,
+                                             const std::string& name) {
+  const ir::Acl* acl1 = config1.FindAcl(name);
+  const ir::Acl* acl2 = config2.FindAcl(name);
+  if (acl1 == nullptr || acl2 == nullptr) return {};
+
+  bdd::BddManager mgr;
+  encode::PacketLayout layout(mgr);
+  std::vector<AclDifference> diffs = SemanticDiffAcls(layout, *acl1, *acl2);
+  std::vector<PresentedDifference> presented;
+  presented.reserve(diffs.size());
+  for (const auto& diff : diffs) {
+    presented.push_back(
+        PresentAclDifference(layout, diff, *acl1, *acl2, config1, config2));
+  }
+  return presented;
+}
+
+DiffReport ConfigDiff(const ir::RouterConfig& config1,
+                      const ir::RouterConfig& config2,
+                      const DiffOptions& options) {
+  DiffReport report;
+  std::vector<std::string> warnings;
+  PolicyPairing pairing = MatchPolicies(config1, config2);
+
+  auto add_semantic = [&](DifferenceEntry::Kind kind,
+                          std::vector<PresentedDifference> diffs) {
+    for (auto& d : diffs) {
+      DifferenceEntry entry;
+      entry.kind = kind;
+      entry.title = d.title;
+      entry.rendered = d.table;
+      entry.detail = std::move(d);
+      report.entries.push_back(std::move(entry));
+    }
+  };
+  auto add_structural = [&](std::vector<StructuralDifference> diffs) {
+    for (const auto& d : diffs) {
+      PresentedDifference presented =
+          PresentStructuralDifference(d, config1, config2);
+      DifferenceEntry entry;
+      entry.kind = DifferenceEntry::Kind::kStructural;
+      entry.title = presented.title;
+      entry.rendered = presented.table;
+      entry.detail = std::move(presented);
+      report.entries.push_back(std::move(entry));
+    }
+  };
+
+  if (options.check_route_maps) {
+    // Several neighbors often share one policy pair (e.g. both uplinks use
+    // the same import map); each distinct (name1, name2) pair is diffed
+    // once.
+    std::set<std::pair<std::string, std::string>> seen_pairs;
+    for (const auto& pair : pairing.route_maps) {
+      if (!seen_pairs.insert({pair.name1, pair.name2}).second) continue;
+      auto diffs = DiffRouteMapPairImpl(config1, pair.name1, config2,
+                                        pair.name2, &warnings);
+      for (auto& d : diffs) {
+        d.title += " (neighbor " + pair.neighbor.ToString() + ", " +
+                   ToString(pair.direction) + ")";
+      }
+      add_semantic(DifferenceEntry::Kind::kRouteMapSemantic, std::move(diffs));
+    }
+    for (const auto& pair : pairing.redistributions) {
+      auto diffs = DiffRouteMapPairImpl(config1, pair.name1, config2,
+                                        pair.name2, &warnings);
+      for (auto& d : diffs) {
+        d.title += " (redistribution of " + ir::ToString(pair.from) +
+                   " into " + ir::ToString(pair.via) + ")";
+      }
+      add_semantic(DifferenceEntry::Kind::kRouteMapSemantic, std::move(diffs));
+    }
+  }
+  if (options.check_acls) {
+    for (const auto& pair : pairing.acls) {
+      add_semantic(DifferenceEntry::Kind::kAclSemantic,
+                   DiffAclPair(config1, config2, pair.name));
+    }
+  }
+  if (options.check_static_routes) {
+    add_structural(DiffStaticRoutes(config1, config2));
+  }
+  if (options.check_connected_routes) {
+    add_structural(DiffConnectedRoutes(config1, config2));
+  }
+  if (options.check_ospf) {
+    add_structural(DiffOspf(config1, config2, pairing.interfaces));
+  }
+  if (options.check_bgp_properties) {
+    add_structural(DiffBgpProperties(config1, config2));
+  }
+  if (options.check_admin_distances) {
+    add_structural(DiffAdminDistances(config1, config2));
+  }
+
+  for (const auto& note : pairing.unmatched) {
+    DifferenceEntry entry;
+    entry.kind = DifferenceEntry::Kind::kUnmatched;
+    entry.title = "Unmatched component";
+    entry.rendered = note + "\n";
+    report.entries.push_back(std::move(entry));
+  }
+  for (const auto& warning : warnings) {
+    DifferenceEntry entry;
+    entry.kind = DifferenceEntry::Kind::kWarning;
+    entry.title = "Warning";
+    entry.rendered = warning + "\n";
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace campion::core

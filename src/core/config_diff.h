@@ -1,0 +1,65 @@
+#pragma once
+
+// ConfigDiff (§3): the top-level driver. Pairs the two configurations'
+// components with MatchPolicies, runs SemanticDiff on every route-map and
+// ACL pair and StructuralDiff on everything else, and renders each
+// difference with Present. This is the function behind Campion's
+// command-line output.
+
+#include <string>
+#include <vector>
+
+#include "core/match_policies.h"
+#include "core/present.h"
+#include "ir/config.h"
+
+namespace campion::core {
+
+struct DifferenceEntry {
+  enum class Kind {
+    kRouteMapSemantic,
+    kAclSemantic,
+    kStructural,
+    kUnmatched,  // A component exists on one side only.
+    kWarning,    // E.g. an undefined list referenced by a route map.
+  };
+  Kind kind = Kind::kRouteMapSemantic;
+  std::string title;
+  std::string rendered;  // Full table or message text.
+  PresentedDifference detail;  // Structured fields (semantic/structural).
+};
+
+struct DiffOptions {
+  bool check_route_maps = true;
+  bool check_acls = true;
+  bool check_static_routes = true;
+  bool check_connected_routes = true;
+  bool check_ospf = true;
+  bool check_bgp_properties = true;
+  bool check_admin_distances = true;
+};
+
+struct DiffReport {
+  std::vector<DifferenceEntry> entries;
+
+  int CountOf(DifferenceEntry::Kind kind) const;
+  bool Equivalent() const;  // No differences of any kind (warnings aside).
+  std::string Render() const;
+};
+
+DiffReport ConfigDiff(const ir::RouterConfig& config1,
+                      const ir::RouterConfig& config2,
+                      const DiffOptions& options = {});
+
+// Diffs a single route-map pair (used directly by benchmarks and tests; an
+// empty name stands for "no policy" = accept everything unmodified).
+std::vector<PresentedDifference> DiffRouteMapPair(
+    const ir::RouterConfig& config1, const std::string& name1,
+    const ir::RouterConfig& config2, const std::string& name2);
+
+// Diffs a single ACL pair by name.
+std::vector<PresentedDifference> DiffAclPair(const ir::RouterConfig& config1,
+                                             const ir::RouterConfig& config2,
+                                             const std::string& name);
+
+}  // namespace campion::core

@@ -1,0 +1,94 @@
+#include "core/ddnf.h"
+
+#include <algorithm>
+#include <set>
+
+namespace campion::core {
+namespace {
+
+// Clamps the length window to the feasible [base length, 32] band so that
+// semantically equal ranges have equal representations.
+util::PrefixRange Normalize(const util::PrefixRange& r) {
+  int low = std::max(r.low(), r.prefix().length());
+  int high = std::min(r.high(), 32);
+  return util::PrefixRange(r.prefix(), low, high);
+}
+
+}  // namespace
+
+PrefixRangeDag::PrefixRangeDag(std::vector<util::PrefixRange> ranges,
+                               util::PrefixRange universe) {
+  universe = Normalize(universe);
+
+  // Normalize against the universe and drop empties/duplicates.
+  std::set<util::PrefixRange> pool;
+  for (const auto& r : ranges) {
+    auto clipped = Normalize(r).Intersect(universe);
+    if (clipped) pool.insert(*clipped);
+  }
+  pool.erase(universe);
+
+  // Close under intersection (a fixed point: intersecting two ranges can
+  // produce a window that intersects further ranges in new ways).
+  std::vector<util::PrefixRange> worklist(pool.begin(), pool.end());
+  while (!worklist.empty()) {
+    util::PrefixRange r = worklist.back();
+    worklist.pop_back();
+    std::vector<util::PrefixRange> fresh;
+    for (const auto& other : pool) {
+      auto meet = r.Intersect(other);
+      if (meet && !pool.contains(*meet) && *meet != universe) {
+        fresh.push_back(*meet);
+      }
+    }
+    for (auto& m : fresh) {
+      pool.insert(m);
+      worklist.push_back(m);
+    }
+  }
+
+  // Insert in generality order — containers before containees — so every
+  // strict container of a range already exists when the range is inserted.
+  // Containment implies base length is <= and the window is wider, so
+  // sorting by (base length asc, window width desc) is a topological order.
+  std::vector<util::PrefixRange> ordered(pool.begin(), pool.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const util::PrefixRange& a, const util::PrefixRange& b) {
+              if (a.prefix().length() != b.prefix().length()) {
+                return a.prefix().length() < b.prefix().length();
+              }
+              int wa = a.high() - a.low();
+              int wb = b.high() - b.low();
+              if (wa != wb) return wa > wb;
+              return a < b;
+            });
+
+  labels_.push_back(universe);
+  children_.emplace_back();
+  for (const auto& r : ordered) {
+    std::size_t node = labels_.size();
+    labels_.push_back(r);
+    children_.emplace_back();
+    // Immediate parents: strict containers with no other strict container
+    // of r strictly below them.
+    std::vector<std::size_t> containers;
+    for (std::size_t m = 0; m < node; ++m) {
+      if (labels_[m] != r && labels_[m].ContainsRange(r)) {
+        containers.push_back(m);
+      }
+    }
+    for (std::size_t m : containers) {
+      bool immediate = true;
+      for (std::size_t k : containers) {
+        if (k != m && labels_[m] != labels_[k] &&
+            labels_[m].ContainsRange(labels_[k])) {
+          immediate = false;
+          break;
+        }
+      }
+      if (immediate) children_[m].push_back(node);
+    }
+  }
+}
+
+}  // namespace campion::core

@@ -1,0 +1,53 @@
+#pragma once
+
+// HeaderLocalize (§3.2): turns the BDD of a difference's input set into a
+// minimal, human-readable union of configuration prefix ranges and range
+// differences — the "Included Prefixes" / "Excluded Prefixes" rows of the
+// paper's output tables.
+//
+// The algorithm builds the prefix-range containment DAG (core/ddnf.h) over
+// every range constant appearing in the two configurations, associates each
+// node with its symbolic member set, and runs the recursive GetMatch
+// traversal: a node whose remainder lies inside S contributes its range
+// minus the children not in S (computed by recursing on ¬S); otherwise the
+// children are visited and their results unioned. A final pass removes
+// nested differences, e.g. C − (F − G) becomes {C − F, G}.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "core/ddnf.h"
+#include "util/prefix_range.h"
+
+namespace campion::core {
+
+// Maps a prefix range to the BDD of its member set. HeaderLocalize is
+// encoding-agnostic: route advertisements supply RouteAdvLayout's
+// MatchPrefixRange, dataplane ACLs supply a destination-address encoding
+// where ranges are (prefix, 32-32) address sets.
+using RangeToBdd = std::function<bdd::BddRef(const util::PrefixRange&)>;
+
+struct HeaderLocalizeResult {
+  // S as a union of difference terms (include minus excludes).
+  std::vector<util::PrefixRangeTerm> terms;
+
+  // Flattened views for presentation: the union of all included ranges and
+  // of all excluded ranges, as in the paper's tables.
+  std::vector<util::PrefixRange> IncludedRanges() const;
+  std::vector<util::PrefixRange> ExcludedRanges() const;
+
+  std::string ToString() const;
+};
+
+// `set` must be a predicate over the prefix encoding only (project other
+// variables out first); `ranges` must include every range constant used to
+// build it. `universe` is the root range (the whole advertisement space for
+// route maps; the all-/32s space for ACL destination addresses).
+HeaderLocalizeResult HeaderLocalize(
+    bdd::BddManager& mgr, bdd::BddRef set,
+    std::vector<util::PrefixRange> ranges, const RangeToBdd& range_to_bdd,
+    util::PrefixRange universe = util::PrefixRange::Universe());
+
+}  // namespace campion::core

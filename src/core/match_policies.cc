@@ -1,0 +1,151 @@
+#include "core/match_policies.h"
+
+#include <map>
+#include <set>
+
+namespace campion::core {
+
+std::string ToString(PolicyDirection direction) {
+  return direction == PolicyDirection::kImport ? "import" : "export";
+}
+
+namespace {
+
+void MatchBgpNeighbors(const ir::RouterConfig& config1,
+                       const ir::RouterConfig& config2,
+                       PolicyPairing& pairing) {
+  if (!config1.bgp || !config2.bgp) return;
+  std::map<util::Ipv4Address, const ir::BgpNeighbor*> n1, n2;
+  for (const auto& n : config1.bgp->neighbors) n1.emplace(n.ip, &n);
+  for (const auto& n : config2.bgp->neighbors) n2.emplace(n.ip, &n);
+
+  for (const auto& [ip, x1] : n1) {
+    auto it = n2.find(ip);
+    if (it == n2.end()) {
+      pairing.unmatched.push_back("BGP neighbor " + ip.ToString() +
+                                  " exists only in " + config1.hostname);
+      continue;
+    }
+    const ir::BgpNeighbor* x2 = it->second;
+    // Pair policies whenever either side has one (an absent policy is an
+    // accept-everything map, which SemanticDiff handles uniformly).
+    if (!x1->import_policy.empty() || !x2->import_policy.empty()) {
+      pairing.route_maps.push_back({ip, PolicyDirection::kImport,
+                                    x1->import_policy, x2->import_policy});
+    }
+    if (!x1->export_policy.empty() || !x2->export_policy.empty()) {
+      pairing.route_maps.push_back({ip, PolicyDirection::kExport,
+                                    x1->export_policy, x2->export_policy});
+    }
+  }
+  for (const auto& [ip, x2] : n2) {
+    if (!n1.contains(ip)) {
+      pairing.unmatched.push_back("BGP neighbor " + ip.ToString() +
+                                  " exists only in " + config2.hostname);
+    }
+  }
+}
+
+void MatchAcls(const ir::RouterConfig& config1,
+               const ir::RouterConfig& config2, PolicyPairing& pairing) {
+  for (const auto& [name, acl] : config1.acls) {
+    if (config2.acls.contains(name)) {
+      pairing.acls.push_back({name});
+    } else {
+      pairing.unmatched.push_back("ACL " + name + " exists only in " +
+                                  config1.hostname);
+    }
+  }
+  for (const auto& [name, acl] : config2.acls) {
+    if (!config1.acls.contains(name)) {
+      pairing.unmatched.push_back("ACL " + name + " exists only in " +
+                                  config2.hostname);
+    }
+  }
+}
+
+void MatchRedistributions(const ir::RouterConfig& config1,
+                          const ir::RouterConfig& config2,
+                          PolicyPairing& pairing) {
+  auto match_process = [&](ir::Protocol via,
+                           const std::vector<ir::Redistribution>& r1,
+                           const std::vector<ir::Redistribution>& r2) {
+    std::map<ir::Protocol, const ir::Redistribution*> m1, m2;
+    for (const auto& r : r1) m1.emplace(r.from, &r);
+    for (const auto& r : r2) m2.emplace(r.from, &r);
+    for (const auto& [from, x1] : m1) {
+      auto it = m2.find(from);
+      // Presence mismatches are reported by StructuralDiff; here we only
+      // pair the policies of redistributions both sides configure.
+      if (it == m2.end()) continue;
+      if (!x1->route_map.empty() || !it->second->route_map.empty()) {
+        pairing.redistributions.push_back(
+            {via, from, x1->route_map, it->second->route_map});
+      }
+    }
+  };
+  if (config1.ospf && config2.ospf) {
+    match_process(ir::Protocol::kOspf, config1.ospf->redistributions,
+                  config2.ospf->redistributions);
+  }
+  if (config1.bgp && config2.bgp) {
+    match_process(ir::Protocol::kBgp, config1.bgp->redistributions,
+                  config2.bgp->redistributions);
+  }
+}
+
+void MatchInterfaces(const ir::RouterConfig& config1,
+                     const ir::RouterConfig& config2,
+                     PolicyPairing& pairing) {
+  std::set<std::string> used2;
+  // Pass 1: identical names.
+  for (const auto& i1 : config1.interfaces) {
+    if (config2.FindInterface(i1.name) != nullptr) {
+      pairing.interfaces.emplace_back(i1.name, i1.name);
+      used2.insert(i1.name);
+    }
+  }
+  // Pass 2: shared subnet (backup routers sit on the same subnets with
+  // different host addresses).
+  for (const auto& i1 : config1.interfaces) {
+    if (config2.FindInterface(i1.name) != nullptr) continue;
+    auto subnet1 = i1.ConnectedSubnet();
+    if (!subnet1) continue;
+    bool matched = false;
+    for (const auto& i2 : config2.interfaces) {
+      if (used2.contains(i2.name)) continue;
+      auto subnet2 = i2.ConnectedSubnet();
+      if (subnet2 && *subnet1 == *subnet2) {
+        pairing.interfaces.emplace_back(i1.name, i2.name);
+        used2.insert(i2.name);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      pairing.unmatched.push_back("interface " + i1.name +
+                                  " exists only in " + config1.hostname);
+    }
+  }
+  for (const auto& i2 : config2.interfaces) {
+    if (config1.FindInterface(i2.name) != nullptr || used2.contains(i2.name)) {
+      continue;
+    }
+    pairing.unmatched.push_back("interface " + i2.name + " exists only in " +
+                                config2.hostname);
+  }
+}
+
+}  // namespace
+
+PolicyPairing MatchPolicies(const ir::RouterConfig& config1,
+                            const ir::RouterConfig& config2) {
+  PolicyPairing pairing;
+  MatchBgpNeighbors(config1, config2, pairing);
+  MatchAcls(config1, config2, pairing);
+  MatchRedistributions(config1, config2, pairing);
+  MatchInterfaces(config1, config2, pairing);
+  return pairing;
+}
+
+}  // namespace campion::core

@@ -1,0 +1,46 @@
+#pragma once
+
+// The normalized effect of a route map on an accepted route. SemanticDiff
+// compares path equivalence classes by their *behavior*, so the sequence of
+// set statements accumulated along a path (including fall-through terms) is
+// normalized here: later sets of the same attribute win, community
+// replace/add/delete compose, and rejected routes compare equal regardless
+// of any sets on the path.
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+
+#include "ir/policy.h"
+#include "util/community.h"
+#include "util/ip.h"
+
+namespace campion::core {
+
+struct RouteAction {
+  bool accept = false;
+  std::optional<std::uint32_t> local_pref;
+  std::optional<std::uint32_t> metric;
+  std::optional<std::uint32_t> tag;
+  std::optional<util::Ipv4Address> next_hop;
+  bool next_hop_self = false;
+  // When true, the route's communities are replaced by communities_added.
+  bool communities_replaced = false;
+  std::set<util::Community> communities_added;
+  std::set<util::Community> communities_removed;
+
+  friend bool operator==(const RouteAction&, const RouteAction&) = default;
+
+  // "REJECT" or "ACCEPT" plus the attribute updates, one per line, as in
+  // the Action rows of the paper's Table 2.
+  std::string ToString() const;
+
+  // Folds a path's accumulated set statements into a normalized action.
+  // `accept` is whether the path's terminal action permits the route.
+  static RouteAction FromPath(bool accept,
+                              std::span<const ir::RouteMapSet> sets);
+};
+
+}  // namespace campion::core

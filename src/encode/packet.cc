@@ -1,0 +1,180 @@
+#include "encode/packet.h"
+
+namespace campion::encode {
+
+namespace {
+constexpr int kIpWidth = 32;
+constexpr int kProtoWidth = 8;
+constexpr int kPortWidth = 16;
+constexpr int kIcmpWidth = 8;
+}  // namespace
+
+PacketLayout::PacketLayout(bdd::BddManager& mgr) : mgr_(mgr) {
+  bdd::Var first = mgr_.AddVars(2 * kIpWidth + kProtoWidth + 2 * kPortWidth +
+                                kIcmpWidth + 1);
+  src_ip_ = SymbolicField(first, kIpWidth);
+  dst_ip_ = SymbolicField(first + kIpWidth, kIpWidth);
+  protocol_ = SymbolicField(first + 2 * kIpWidth, kProtoWidth);
+  src_port_ = SymbolicField(first + 2 * kIpWidth + kProtoWidth, kPortWidth);
+  dst_port_ = SymbolicField(first + 2 * kIpWidth + kProtoWidth + kPortWidth,
+                            kPortWidth);
+  icmp_type_ = SymbolicField(
+      first + 2 * kIpWidth + kProtoWidth + 2 * kPortWidth, kIcmpWidth);
+  established_var_ =
+      first + 2 * kIpWidth + kProtoWidth + 2 * kPortWidth + kIcmpWidth;
+}
+
+bdd::BddRef PacketLayout::MatchWildcard(const SymbolicField& field,
+                                        const util::IpWildcard& w) const {
+  return field.MatchMasked(mgr_, w.address().bits(), ~w.wildcard_bits());
+}
+
+bdd::BddRef PacketLayout::MatchSrc(const util::IpWildcard& w) const {
+  return MatchWildcard(src_ip_, w);
+}
+
+bdd::BddRef PacketLayout::MatchDst(const util::IpWildcard& w) const {
+  return MatchWildcard(dst_ip_, w);
+}
+
+bdd::BddRef PacketLayout::MatchDstPrefix(const util::Prefix& p) const {
+  return dst_ip_.MatchPrefixBits(mgr_, p.address().bits(), p.length());
+}
+
+bdd::BddRef PacketLayout::MatchSrcPrefix(const util::Prefix& p) const {
+  return src_ip_.MatchPrefixBits(mgr_, p.address().bits(), p.length());
+}
+
+bdd::BddRef PacketLayout::ProtocolIs(std::uint8_t protocol) const {
+  return protocol_.EqualsConst(mgr_, protocol);
+}
+
+bdd::BddRef PacketLayout::SrcPortIn(const ir::PortRange& r) const {
+  return src_port_.InRange(mgr_, r.low, r.high);
+}
+
+bdd::BddRef PacketLayout::DstPortIn(const ir::PortRange& r) const {
+  return dst_port_.InRange(mgr_, r.low, r.high);
+}
+
+bdd::BddRef PacketLayout::IcmpTypeIs(std::uint8_t type) const {
+  return icmp_type_.EqualsConst(mgr_, type);
+}
+
+bdd::BddRef PacketLayout::Established() const {
+  return mgr_.VarTrue(established_var_);
+}
+
+bdd::BddRef PacketLayout::MatchLine(const ir::AclLine& line) const {
+  bdd::BddRef match = mgr_.True();
+  if (line.protocol) match = mgr_.And(match, ProtocolIs(*line.protocol));
+  match = mgr_.And(match, MatchSrc(line.src));
+  match = mgr_.And(match, MatchDst(line.dst));
+  if (!line.src_ports.empty()) {
+    bdd::BddRef ports = mgr_.False();
+    for (const auto& r : line.src_ports) ports = mgr_.Or(ports, SrcPortIn(r));
+    match = mgr_.And(match, ports);
+  }
+  if (!line.dst_ports.empty()) {
+    bdd::BddRef ports = mgr_.False();
+    for (const auto& r : line.dst_ports) ports = mgr_.Or(ports, DstPortIn(r));
+    match = mgr_.And(match, ports);
+  }
+  if (line.icmp_type) {
+    match = mgr_.And(match, IcmpTypeIs(*line.icmp_type));
+  }
+  if (line.established) {
+    match = mgr_.And(match, Established());
+  }
+  return match;
+}
+
+std::vector<bool> PacketLayout::DstIpVarMask() const {
+  std::vector<bool> mask(mgr_.num_vars(), false);
+  for (int i = 0; i < dst_ip_.width(); ++i) mask[dst_ip_.VarAt(i)] = true;
+  return mask;
+}
+
+std::vector<bool> PacketLayout::NonDstIpVarMask() const {
+  std::vector<bool> mask = DstIpVarMask();
+  mask.flip();
+  return mask;
+}
+
+std::vector<bool> PacketLayout::SrcIpVarMask() const {
+  std::vector<bool> mask(mgr_.num_vars(), false);
+  for (int i = 0; i < src_ip_.width(); ++i) mask[src_ip_.VarAt(i)] = true;
+  return mask;
+}
+
+namespace {
+
+std::vector<ir::PortRange> FieldRanges(bdd::BddManager& mgr,
+                                       const SymbolicField& field,
+                                       bdd::BddRef set,
+                                       std::vector<bool> keep_mask) {
+  keep_mask.flip();
+  bdd::BddRef projected = mgr.Exists(set, keep_mask);
+  std::vector<ir::PortRange> ranges;
+  for (const auto& interval : field.Intervals(mgr, projected)) {
+    ranges.push_back({static_cast<std::uint16_t>(interval.low),
+                      static_cast<std::uint16_t>(interval.high)});
+  }
+  return ranges;
+}
+
+std::vector<bool> FieldMask(bdd::Var num_vars, const SymbolicField& field) {
+  std::vector<bool> mask(num_vars, false);
+  for (int i = 0; i < field.width(); ++i) mask[field.VarAt(i)] = true;
+  return mask;
+}
+
+}  // namespace
+
+std::vector<ir::PortRange> PacketLayout::AffectedDstPorts(
+    bdd::BddRef set) const {
+  return FieldRanges(mgr_, dst_port_, set,
+                     FieldMask(mgr_.num_vars(), dst_port_));
+}
+
+std::vector<ir::PortRange> PacketLayout::AffectedSrcPorts(
+    bdd::BddRef set) const {
+  return FieldRanges(mgr_, src_port_, set,
+                     FieldMask(mgr_.num_vars(), src_port_));
+}
+
+std::vector<ir::PortRange> PacketLayout::AffectedProtocols(
+    bdd::BddRef set) const {
+  return FieldRanges(mgr_, protocol_, set,
+                     FieldMask(mgr_.num_vars(), protocol_));
+}
+
+PacketExample PacketLayout::Decode(const bdd::Cube& cube) const {
+  PacketExample example;
+  example.src_ip = util::Ipv4Address(src_ip_.Decode(cube));
+  example.dst_ip = util::Ipv4Address(dst_ip_.Decode(cube));
+  example.protocol = static_cast<std::uint8_t>(protocol_.Decode(cube));
+  example.src_port = static_cast<std::uint16_t>(src_port_.Decode(cube));
+  example.dst_port = static_cast<std::uint16_t>(dst_port_.Decode(cube));
+  example.icmp_type = static_cast<std::uint8_t>(icmp_type_.Decode(cube));
+  example.established = established_var_ < cube.size() &&
+                        cube[established_var_] == 1;
+  return example;
+}
+
+std::string PacketExample::ToString() const {
+  std::string out = "srcIp: " + src_ip.ToString() +
+                    ", dstIp: " + dst_ip.ToString() +
+                    ", protocol: " + ir::ProtocolNumberToString(protocol);
+  if (protocol == ir::kProtoTcp || protocol == ir::kProtoUdp) {
+    out += ", srcPort: " + std::to_string(src_port) +
+           ", dstPort: " + std::to_string(dst_port);
+  }
+  if (protocol == ir::kProtoTcp && established) out += ", established";
+  if (protocol == ir::kProtoIcmp) {
+    out += ", icmpType: " + std::to_string(icmp_type);
+  }
+  return out;
+}
+
+}  // namespace campion::encode

@@ -1,0 +1,131 @@
+#include "encode/symbolic_field.h"
+
+namespace campion::encode {
+
+bdd::BddRef SymbolicField::EqualsConst(bdd::BddManager& mgr,
+                                       std::uint32_t value) const {
+  return MatchPrefixBits(mgr, value, width_);
+}
+
+bdd::BddRef SymbolicField::MatchPrefixBits(bdd::BddManager& mgr,
+                                           std::uint32_t value,
+                                           int nbits) const {
+  // Build bottom-up so each conjunction is a single MakeNode-shaped BDD.
+  bdd::BddRef result = mgr.True();
+  for (int i = nbits - 1; i >= 0; --i) {
+    bdd::BddRef bit =
+        ValueBit(value, i) ? mgr.VarTrue(VarAt(i)) : mgr.VarFalse(VarAt(i));
+    result = mgr.And(bit, result);
+  }
+  return result;
+}
+
+bdd::BddRef SymbolicField::MatchMasked(bdd::BddManager& mgr,
+                                       std::uint32_t value,
+                                       std::uint32_t care) const {
+  bdd::BddRef result = mgr.True();
+  for (int i = width_ - 1; i >= 0; --i) {
+    if (!ValueBit(care, i)) continue;
+    bdd::BddRef bit =
+        ValueBit(value, i) ? mgr.VarTrue(VarAt(i)) : mgr.VarFalse(VarAt(i));
+    result = mgr.And(bit, result);
+  }
+  return result;
+}
+
+bdd::BddRef SymbolicField::Leq(bdd::BddManager& mgr,
+                               std::uint32_t value) const {
+  // Walk from the least significant bit up, building
+  //   leq_i = if value_bit then (field_bit ? rest : true) else (!field_bit && rest)
+  bdd::BddRef result = mgr.True();
+  for (int i = width_ - 1; i >= 0; --i) {
+    bdd::BddRef bit = mgr.VarTrue(VarAt(i));
+    if (ValueBit(value, i)) {
+      result = mgr.Ite(bit, result, mgr.True());
+    } else {
+      result = mgr.Ite(bit, mgr.False(), result);
+    }
+  }
+  return result;
+}
+
+bdd::BddRef SymbolicField::Geq(bdd::BddManager& mgr,
+                               std::uint32_t value) const {
+  bdd::BddRef result = mgr.True();
+  for (int i = width_ - 1; i >= 0; --i) {
+    bdd::BddRef bit = mgr.VarTrue(VarAt(i));
+    if (ValueBit(value, i)) {
+      result = mgr.Ite(bit, result, mgr.False());
+    } else {
+      result = mgr.Ite(bit, mgr.True(), result);
+    }
+  }
+  return result;
+}
+
+bdd::BddRef SymbolicField::InRange(bdd::BddManager& mgr, std::uint32_t low,
+                                   std::uint32_t high) const {
+  if (low > high) return mgr.False();
+  return mgr.And(Geq(mgr, low), Leq(mgr, high));
+}
+
+std::vector<SymbolicField::Interval> SymbolicField::Intervals(
+    bdd::BddManager& mgr, bdd::BddRef set) const {
+  std::vector<Interval> intervals;
+  // Walk the field's bits most-significant first. At depth d with value
+  // prefix `base`, `node` is the BDD restricted to the decisions so far.
+  // When the node no longer depends on the remaining field bits, the whole
+  // aligned block [base, base + 2^(width-d) - 1] is uniformly in or out.
+  auto emit = [&](std::uint32_t low, std::uint32_t high) {
+    if (!intervals.empty() && intervals.back().high + 1 == low) {
+      intervals.back().high = high;  // Merge adjacent blocks.
+    } else {
+      intervals.push_back({low, high});
+    }
+  };
+  // Recursion is over (node, depth); depth increases strictly, so the
+  // total work is bounded by width x visited nodes.
+  auto rec = [&](auto&& self, bdd::BddRef node, int depth,
+                 std::uint32_t base) -> void {
+    std::uint32_t block =
+        width_ - depth >= 32 ? 0xFFFFFFFFu
+                             : ((1u << (width_ - depth)) - 1);
+    if (node == bdd::kFalse) return;
+    if (node == bdd::kTrue) {
+      emit(base, base + block);
+      return;
+    }
+    bdd::Var node_var = mgr.NodeVar(node);
+    if (depth == width_) {
+      // Depends on variables outside the field: treat as nonempty (caller
+      // should have projected). Conservatively include the single value.
+      emit(base, base);
+      return;
+    }
+    bdd::Var expected = VarAt(depth);
+    if (node_var > expected || node_var < first_) {
+      // The node skips this bit (or sits outside the field): both values
+      // of the bit lead to the same subfunction.
+      self(self, node, depth + 1, base);
+      self(self, node, depth + 1, base | (1u << (width_ - 1 - depth)));
+      return;
+    }
+    self(self, mgr.NodeLow(node), depth + 1, base);
+    self(self, mgr.NodeHigh(node), depth + 1,
+         base | (1u << (width_ - 1 - depth)));
+  };
+  rec(rec, set, 0, 0);
+  return intervals;
+}
+
+std::uint32_t SymbolicField::Decode(const bdd::Cube& cube) const {
+  std::uint32_t value = 0;
+  for (int i = 0; i < width_; ++i) {
+    value <<= 1;
+    bdd::Var v = VarAt(i);
+    if (v < cube.size() && cube[v] == 1) value |= 1u;
+  }
+  return value;
+}
+
+}  // namespace campion::encode

@@ -1,0 +1,66 @@
+#pragma once
+
+// Fixed-width unsigned bit fields inside a BDD variable order, with the
+// comparison and equality predicates the encoders need. Bit 0 of a field is
+// its most significant bit, so integer comparisons read top-down along the
+// variable order and stay small.
+
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.h"
+
+namespace campion::encode {
+
+class SymbolicField {
+ public:
+  SymbolicField() = default;
+  SymbolicField(bdd::Var first_var, int width)
+      : first_(first_var), width_(width) {}
+
+  bdd::Var first_var() const { return first_; }
+  int width() const { return width_; }
+  bdd::Var VarAt(int bit) const { return first_ + static_cast<bdd::Var>(bit); }
+
+  // field == value
+  bdd::BddRef EqualsConst(bdd::BddManager& mgr, std::uint32_t value) const;
+  // The top `nbits` bits of the field equal the top `nbits` bits of `value`
+  // (value is left-aligned in the field width). Used for prefix matching.
+  bdd::BddRef MatchPrefixBits(bdd::BddManager& mgr, std::uint32_t value,
+                              int nbits) const;
+  // Per-bit wildcard equality: bits where `care` has a 0 are ignored.
+  // `value` and `care` are left-aligned in the field width.
+  bdd::BddRef MatchMasked(bdd::BddManager& mgr, std::uint32_t value,
+                          std::uint32_t care) const;
+  // field <= value, field >= value, low <= field <= high.
+  bdd::BddRef Leq(bdd::BddManager& mgr, std::uint32_t value) const;
+  bdd::BddRef Geq(bdd::BddManager& mgr, std::uint32_t value) const;
+  bdd::BddRef InRange(bdd::BddManager& mgr, std::uint32_t low,
+                      std::uint32_t high) const;
+
+  // Reads the field from a cube; don't-care bits decode as 0.
+  std::uint32_t Decode(const bdd::Cube& cube) const;
+
+  // The exact set of field values satisfying `set` (a predicate over this
+  // field only — project other variables out first), as a sorted list of
+  // maximal disjoint [low, high] intervals. Cost is O(nodes × width), not
+  // O(2^width): the BDD is walked once per (node, depth) pair.
+  struct Interval {
+    std::uint32_t low = 0;
+    std::uint32_t high = 0;
+    friend auto operator<=>(const Interval&, const Interval&) = default;
+  };
+  std::vector<Interval> Intervals(bdd::BddManager& mgr,
+                                  bdd::BddRef set) const;
+
+ private:
+  // The bit of `value` aligned with field bit `i` (value left-aligned).
+  bool ValueBit(std::uint32_t value, int i) const {
+    return (value >> (width_ - 1 - i)) & 1u;
+  }
+
+  bdd::Var first_ = 0;
+  int width_ = 0;
+};
+
+}  // namespace campion::encode

@@ -1,0 +1,72 @@
+#include "frontend/loader.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "cisco/cisco_parser.h"
+#include "juniper/juniper_parser.h"
+
+namespace campion::frontend {
+namespace {
+
+bool ContainsToken(const std::string& text, const std::string& token) {
+  return text.find(token) != std::string::npos;
+}
+
+}  // namespace
+
+ir::Vendor DetectVendor(const std::string& text) {
+  // JunOS structure markers.
+  int juniper_score = 0;
+  for (const char* marker :
+       {"policy-options", "routing-options", "host-name", "policy-statement",
+        "family inet", "prefix-length-range"}) {
+    if (ContainsToken(text, marker)) ++juniper_score;
+  }
+  // Braces with semicolons are a strong JunOS signal.
+  if (ContainsToken(text, "{") && ContainsToken(text, ";")) ++juniper_score;
+
+  int cisco_score = 0;
+  for (const char* marker :
+       {"hostname ", "ip route ", "router bgp", "router ospf",
+        "route-map ", "ip prefix-list", "access-list", "ip community-list"}) {
+    if (ContainsToken(text, marker)) ++cisco_score;
+  }
+
+  if (juniper_score == 0 && cisco_score == 0) return ir::Vendor::kUnknown;
+  return juniper_score > cisco_score ? ir::Vendor::kJuniper
+                                     : ir::Vendor::kCisco;
+}
+
+LoadResult LoadConfig(const std::string& text, const std::string& filename,
+                      ir::Vendor vendor) {
+  if (vendor == ir::Vendor::kUnknown) {
+    vendor = DetectVendor(text);
+    if (vendor == ir::Vendor::kUnknown) {
+      throw std::runtime_error(filename +
+                               ": cannot detect configuration format");
+    }
+  }
+  LoadResult result;
+  if (vendor == ir::Vendor::kCisco) {
+    auto parsed = cisco::ParseCiscoConfig(text, filename);
+    result.config = std::move(parsed.config);
+    result.diagnostics = std::move(parsed.diagnostics);
+  } else {
+    auto parsed = juniper::ParseJuniperConfig(text, filename);
+    result.config = std::move(parsed.config);
+    result.diagnostics = std::move(parsed.diagnostics);
+  }
+  return result;
+}
+
+LoadResult LoadConfigFile(const std::string& path, ir::Vendor vendor) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return LoadConfig(buffer.str(), path, vendor);
+}
+
+}  // namespace campion::frontend

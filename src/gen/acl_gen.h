@@ -1,0 +1,42 @@
+#pragma once
+
+// Random near-equivalent ACL pair generation — our substitute for the
+// Capirca-based workload of §5.4. A seeded generator emits one ACL, copies
+// it, and injects a controlled number of semantic differences into the
+// copy (action flips, port perturbations, prefix widenings, deletions,
+// insertions). The pair can be wrapped into Cisco and Juniper router
+// configurations (via the unparsers) to exercise the full
+// parse-and-diff pipeline, mirroring the paper's parse-time comparison.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/config.h"
+#include "ir/policy.h"
+
+namespace campion::gen {
+
+struct AclGenOptions {
+  int rules = 1000;
+  std::uint64_t seed = 1;
+  int differences = 10;  // Mutations injected into the second copy.
+  std::string name = "FILTER";
+};
+
+struct GeneratedAclPair {
+  ir::Acl acl1;
+  ir::Acl acl2;
+  // One human-readable line per injected mutation.
+  std::vector<std::string> injected;
+};
+
+GeneratedAclPair GenerateAclPair(const AclGenOptions& options);
+
+// Wraps an ACL into a minimal router configuration of the given vendor
+// (hostname, one interface binding the ACL inbound).
+ir::RouterConfig WrapAclInConfig(const ir::Acl& acl,
+                                 const std::string& hostname,
+                                 ir::Vendor vendor);
+
+}  // namespace campion::gen

@@ -1,0 +1,27 @@
+#pragma once
+
+// Whole-router configuration generation: seeded random RouterConfigs
+// exercising every IR feature at once (interfaces, static routes, prefix /
+// community / as-path lists, route maps, ACLs, OSPF, BGP with reflector
+// clients). Drives the whole-config round-trip property tests (unparse to
+// either vendor, re-parse, ConfigDiff must find nothing).
+
+#include <cstdint>
+
+#include "ir/config.h"
+
+namespace campion::gen {
+
+struct RouterGenOptions {
+  std::uint64_t seed = 1;
+  int interfaces = 6;
+  int static_routes = 8;
+  int route_maps = 3;
+  int acls = 2;
+  bool with_ospf = true;
+  bool with_bgp = true;
+};
+
+ir::RouterConfig GenerateRouterConfig(const RouterGenOptions& options);
+
+}  // namespace campion::gen

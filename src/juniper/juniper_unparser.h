@@ -1,0 +1,26 @@
+#pragma once
+
+// Emits canonical JunOS configuration text from the vendor-independent IR.
+// Counterpart of cisco_unparser; used by the workload generator and the
+// round-trip tests.
+//
+// Precondition: prefix lists referenced by route maps must be permit-only.
+// JunOS prefix-lists and route-filters carry no per-entry action, so a
+// Cisco-style deny entry has no native JunOS equivalent; emitting such a
+// list would silently change behavior, which the route-map emitter refuses
+// to do (it flags the list in a comment instead).
+
+#include <string>
+
+#include "ir/config.h"
+
+namespace campion::juniper {
+
+std::string UnparseJuniperConfig(const ir::RouterConfig& config);
+
+std::string UnparsePrefixList(const ir::PrefixList& list);
+std::string UnparseCommunity(const ir::CommunityList& list);
+std::string UnparsePolicyStatement(const ir::RouteMap& map);
+std::string UnparseFilter(const ir::Acl& acl);
+
+}  // namespace campion::juniper

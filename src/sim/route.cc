@@ -1,0 +1,169 @@
+#include "sim/route.h"
+
+namespace campion::sim {
+namespace {
+
+bool MatchPrefixList(const ir::RouterConfig& config, const std::string& name,
+                     const Route& route) {
+  const ir::PrefixList* list = config.FindPrefixList(name);
+  if (list == nullptr) return false;  // Undefined list matches nothing.
+  for (const auto& entry : list->entries) {
+    if (entry.range.Contains(route.prefix)) {
+      return entry.action == ir::LineAction::kPermit;
+    }
+  }
+  return false;  // Implicit deny.
+}
+
+bool MatchCommunityList(const ir::RouterConfig& config,
+                        const std::string& name, const Route& route) {
+  const ir::CommunityList* list = config.FindCommunityList(name);
+  if (list == nullptr) return false;
+  for (const auto& entry : list->entries) {
+    bool all = true;
+    for (const auto& community : entry.all_of) {
+      if (!route.communities.contains(community)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return entry.action == ir::LineAction::kPermit;
+  }
+  return false;
+}
+
+bool MatchCondition(const ir::RouterConfig& config,
+                    const ir::RouteMapMatch& match, const Route& route) {
+  switch (match.kind) {
+    case ir::RouteMapMatch::Kind::kPrefixList:
+      for (const auto& name : match.names) {
+        if (MatchPrefixList(config, name, route)) return true;
+      }
+      return false;
+    case ir::RouteMapMatch::Kind::kCommunityList:
+      for (const auto& name : match.names) {
+        if (MatchCommunityList(config, name, route)) return true;
+      }
+      return false;
+    case ir::RouteMapMatch::Kind::kAsPathList:
+      // The simulator's routes carry only an AS-path length, so regex
+      // matches never fire here; as-path differences are checked
+      // symbolically by Campion, not exercised by the simulator.
+      return false;
+    case ir::RouteMapMatch::Kind::kTag:
+      return route.tag == match.value;
+    case ir::RouteMapMatch::Kind::kMetric:
+      return route.metric == match.value;
+    case ir::RouteMapMatch::Kind::kProtocol:
+      return route.protocol == match.protocol;
+  }
+  return false;
+}
+
+void ApplySet(const ir::RouteMapSet& set, Route& route) {
+  switch (set.kind) {
+    case ir::RouteMapSet::Kind::kLocalPreference:
+      route.local_pref = set.value;
+      break;
+    case ir::RouteMapSet::Kind::kMetric:
+      route.metric = set.value;
+      break;
+    case ir::RouteMapSet::Kind::kTag:
+      route.tag = set.value;
+      break;
+    case ir::RouteMapSet::Kind::kNextHop:
+      route.next_hop = set.next_hop;
+      break;
+    case ir::RouteMapSet::Kind::kNextHopSelf:
+      // Sentinel 0: the propagation step replaces it with the advertising
+      // session address, which is what "self" resolves to.
+      route.next_hop = util::Ipv4Address(0);
+      break;
+    case ir::RouteMapSet::Kind::kCommunitySet:
+      route.communities.clear();
+      route.communities.insert(set.communities.begin(),
+                               set.communities.end());
+      break;
+    case ir::RouteMapSet::Kind::kCommunityAdd:
+      route.communities.insert(set.communities.begin(),
+                               set.communities.end());
+      break;
+    case ir::RouteMapSet::Kind::kCommunityDelete:
+      for (const auto& community : set.communities) {
+        route.communities.erase(community);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Route::ToString() const {
+  std::string out = prefix.ToString() + " [" + ir::ToString(protocol) +
+                    "/" + std::to_string(admin_distance) + "]";
+  if (protocol == ir::Protocol::kBgp) {
+    out += " lp=" + std::to_string(local_pref) +
+           " aspath=" + std::to_string(as_path_length);
+  }
+  out += " metric=" + std::to_string(metric);
+  if (!communities.empty()) {
+    out += " comm={";
+    bool first = true;
+    for (const auto& community : communities) {
+      if (!first) out += ",";
+      out += community.ToString();
+      first = false;
+    }
+    out += "}";
+  }
+  if (!learned_from.empty()) out += " via " + learned_from;
+  return out;
+}
+
+bool Preferred(const Route& a, const Route& b) {
+  if (a.admin_distance != b.admin_distance) {
+    return a.admin_distance < b.admin_distance;
+  }
+  if (a.protocol == ir::Protocol::kBgp && b.protocol == ir::Protocol::kBgp) {
+    if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+    if (a.as_path_length != b.as_path_length) {
+      return a.as_path_length < b.as_path_length;
+    }
+  }
+  if (a.metric != b.metric) return a.metric < b.metric;
+  // Deterministic final tie-breaks so the fixed point is unique.
+  if (a.learned_from != b.learned_from) return a.learned_from < b.learned_from;
+  return false;
+}
+
+std::optional<Route> EvalRouteMap(const ir::RouterConfig& config,
+                                  const ir::RouteMap& map, Route route) {
+  for (const auto& clause : map.clauses) {
+    bool matches = true;
+    for (const auto& match : clause.matches) {
+      if (!MatchCondition(config, match, route)) {
+        matches = false;
+        break;
+      }
+    }
+    if (!matches) continue;
+    for (const auto& set : clause.sets) ApplySet(set, route);
+    switch (clause.action) {
+      case ir::ClauseAction::kPermit: return route;
+      case ir::ClauseAction::kDeny: return std::nullopt;
+      case ir::ClauseAction::kFallThrough: break;  // Continue to next term.
+    }
+  }
+  if (map.default_action == ir::ClauseAction::kPermit) return route;
+  return std::nullopt;
+}
+
+std::optional<Route> EvalPolicy(const ir::RouterConfig& config,
+                                const std::string& map_name, Route route) {
+  if (map_name.empty()) return route;
+  const ir::RouteMap* map = config.FindRouteMap(map_name);
+  if (map == nullptr) return route;  // Dangling reference: pass through.
+  return EvalRouteMap(config, *map, std::move(route));
+}
+
+}  // namespace campion::sim

@@ -1,0 +1,271 @@
+// The campion command-line tool: compare two router configurations and
+// report every behavioral difference, localized to the affected header
+// space and the responsible configuration lines.
+//
+//   campion [options] <config1> <config2>
+//
+// Options:
+//   --vendor1=cisco|juniper|auto   Format of the first config (default auto)
+//   --vendor2=cisco|juniper|auto   Format of the second config
+//   --checks=LIST                  Comma list of checks to run; default all.
+//                                  (route-maps, acls, static, connected,
+//                                   ospf, bgp, admin)
+//   --route-map=NAME               Compare only the named route map pair.
+//   --acl=NAME                     Compare only the named ACL pair.
+//   --format=text|json             Output format (default text).
+//   --quiet                        Only set the exit status.
+//
+// Exit status: 0 when behaviorally equivalent, 2 when differences were
+// found, 1 on usage or parse failures.
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/config_diff.h"
+#include "core/json_report.h"
+#include "frontend/loader.h"
+
+namespace {
+
+struct Options {
+  std::string path1;
+  std::string path2;
+  campion::ir::Vendor vendor1 = campion::ir::Vendor::kUnknown;
+  campion::ir::Vendor vendor2 = campion::ir::Vendor::kUnknown;
+  campion::core::DiffOptions checks;
+  std::string route_map;
+  std::string acl;
+  bool json = false;
+  bool quiet = false;
+  // Batch mode: the two positional arguments are directories; files with
+  // matching stems are compared pairwise (the §5.1 "check all backup
+  // pairs" workflow).
+  bool batch = false;
+};
+
+campion::ir::Vendor ParseVendor(const std::string& value) {
+  if (value == "cisco") return campion::ir::Vendor::kCisco;
+  if (value == "juniper") return campion::ir::Vendor::kJuniper;
+  return campion::ir::Vendor::kUnknown;
+}
+
+bool ParseChecks(const std::string& list, campion::core::DiffOptions* checks) {
+  *checks = campion::core::DiffOptions{};
+  checks->check_route_maps = false;
+  checks->check_acls = false;
+  checks->check_static_routes = false;
+  checks->check_connected_routes = false;
+  checks->check_ospf = false;
+  checks->check_bgp_properties = false;
+  checks->check_admin_distances = false;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    std::string item = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (item == "route-maps") {
+      checks->check_route_maps = true;
+    } else if (item == "acls") {
+      checks->check_acls = true;
+    } else if (item == "static") {
+      checks->check_static_routes = true;
+    } else if (item == "connected") {
+      checks->check_connected_routes = true;
+    } else if (item == "ospf") {
+      checks->check_ospf = true;
+    } else if (item == "bgp") {
+      checks->check_bgp_properties = true;
+    } else if (item == "admin") {
+      checks->check_admin_distances = true;
+    } else if (!item.empty()) {
+      std::cerr << "error: unknown check '" << item << "'\n";
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: campion [options] <config1> <config2>\n"
+         "  --vendor1=cisco|juniper|auto  format of config1 (default auto)\n"
+         "  --vendor2=cisco|juniper|auto  format of config2\n"
+         "  --checks=LIST   comma list: route-maps,acls,static,connected,\n"
+         "                  ospf,bgp,admin (default: all)\n"
+         "  --route-map=N   compare only the named route map pair\n"
+         "  --acl=N         compare only the named ACL pair\n"
+         "  --format=text|json\n"
+         "  --quiet         only set the exit status\n"
+         "  --batch         treat the two arguments as directories and\n"
+         "                  compare files with matching stems pairwise\n";
+  return 1;
+}
+
+// Batch mode: pair files across two directories by stem (filename without
+// extension) and compare each pair. Returns the process exit status.
+int RunBatch(const Options& options) {
+  namespace fs = std::filesystem;
+  auto stems = [](const std::string& dir) {
+    std::vector<std::pair<std::string, fs::path>> out;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      out.emplace_back(entry.path().stem().string(), entry.path());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  std::vector<std::pair<std::string, fs::path>> left;
+  std::vector<std::pair<std::string, fs::path>> right;
+  try {
+    left = stems(options.path1);
+    right = stems(options.path2);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+
+  int compared = 0;
+  int differing = 0;
+  int failures = 0;
+  for (const auto& [stem, path] : left) {
+    auto match = std::find_if(right.begin(), right.end(),
+                              [&](const auto& r) { return r.first == stem; });
+    if (match == right.end()) {
+      std::cerr << "warning: no counterpart for " << path << "\n";
+      continue;
+    }
+    ++compared;
+    try {
+      auto loaded1 = campion::frontend::LoadConfigFile(path.string(),
+                                                       options.vendor1);
+      auto loaded2 = campion::frontend::LoadConfigFile(
+          match->second.string(), options.vendor2);
+      campion::core::DiffReport report = campion::core::ConfigDiff(
+          loaded1.config, loaded2.config, options.checks);
+      if (report.Equivalent()) {
+        if (!options.quiet) std::cout << stem << ": equivalent\n";
+      } else {
+        ++differing;
+        if (!options.quiet) {
+          std::cout << stem << ": " << report.entries.size()
+                    << " reported item(s)\n";
+          std::cout << report.Render();
+        }
+      }
+    } catch (const std::exception& error) {
+      ++failures;
+      std::cerr << "error: " << stem << ": " << error.what() << "\n";
+    }
+  }
+  if (!options.quiet) {
+    std::cout << compared << " pair(s) compared, " << differing
+              << " with differences, " << failures << " failed to load\n";
+  }
+  if (failures > 0) return 1;
+  return differing == 0 ? 0 : 2;
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> std::string {
+      return arg.substr(std::strlen(flag));
+    };
+    if (arg.rfind("--vendor1=", 0) == 0) {
+      options->vendor1 = ParseVendor(value_of("--vendor1="));
+    } else if (arg.rfind("--vendor2=", 0) == 0) {
+      options->vendor2 = ParseVendor(value_of("--vendor2="));
+    } else if (arg.rfind("--checks=", 0) == 0) {
+      if (!ParseChecks(value_of("--checks="), &options->checks)) return false;
+    } else if (arg.rfind("--route-map=", 0) == 0) {
+      options->route_map = value_of("--route-map=");
+    } else if (arg.rfind("--acl=", 0) == 0) {
+      options->acl = value_of("--acl=");
+    } else if (arg.rfind("--format=", 0) == 0) {
+      std::string format = value_of("--format=");
+      if (format == "json") {
+        options->json = true;
+      } else if (format != "text") {
+        std::cerr << "error: unknown format '" << format << "'\n";
+        return false;
+      }
+    } else if (arg == "--quiet") {
+      options->quiet = true;
+    } else if (arg == "--batch") {
+      options->batch = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return false;
+  options->path1 = positional[0];
+  options->path2 = positional[1];
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return Usage();
+  if (options.batch) return RunBatch(options);
+
+  campion::frontend::LoadResult loaded1;
+  campion::frontend::LoadResult loaded2;
+  try {
+    loaded1 = campion::frontend::LoadConfigFile(options.path1,
+                                                options.vendor1);
+    loaded2 = campion::frontend::LoadConfigFile(options.path2,
+                                                options.vendor2);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  if (!options.quiet) {
+    for (const auto& d : loaded1.diagnostics) std::cerr << "warning: " << d << "\n";
+    for (const auto& d : loaded2.diagnostics) std::cerr << "warning: " << d << "\n";
+  }
+
+  // Single-component modes.
+  if (!options.route_map.empty()) {
+    auto diffs = campion::core::DiffRouteMapPair(
+        loaded1.config, options.route_map, loaded2.config, options.route_map);
+    if (!options.quiet) {
+      for (const auto& d : diffs) std::cout << d.table << "\n";
+      std::cout << diffs.size() << " difference(s)\n";
+    }
+    return diffs.empty() ? 0 : 2;
+  }
+  if (!options.acl.empty()) {
+    auto diffs = campion::core::DiffAclPair(loaded1.config, loaded2.config,
+                                            options.acl);
+    if (!options.quiet) {
+      for (const auto& d : diffs) std::cout << d.table << "\n";
+      std::cout << diffs.size() << " difference(s)\n";
+    }
+    return diffs.empty() ? 0 : 2;
+  }
+
+  campion::core::DiffReport report =
+      campion::core::ConfigDiff(loaded1.config, loaded2.config, options.checks);
+  if (!options.quiet) {
+    if (options.json) {
+      std::cout << campion::core::ReportToJson(report,
+                                               loaded1.config.hostname,
+                                               loaded2.config.hostname);
+    } else {
+      std::cout << report.Render();
+    }
+  }
+  return report.Equivalent() ? 0 : 2;
+}

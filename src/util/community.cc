@@ -1,0 +1,39 @@
+#include "util/community.h"
+
+#include <charconv>
+
+namespace campion::util {
+namespace {
+
+std::optional<std::uint32_t> ParseNumber(std::string_view text,
+                                         std::uint32_t max) {
+  std::uint32_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || value > max) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<Community> Community::Parse(std::string_view text) {
+  auto colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    auto value = ParseNumber(text, ~0u);
+    if (!value) return std::nullopt;
+    return Community(*value);
+  }
+  auto high = ParseNumber(text.substr(0, colon), 0xffff);
+  auto low = ParseNumber(text.substr(colon + 1), 0xffff);
+  if (!high || !low) return std::nullopt;
+  return Community(static_cast<std::uint16_t>(*high),
+                   static_cast<std::uint16_t>(*low));
+}
+
+std::string Community::ToString() const {
+  return std::to_string(high()) + ":" + std::to_string(low());
+}
+
+}  // namespace campion::util

@@ -1,0 +1,39 @@
+#pragma once
+
+// BGP standard communities ("10:10"), used by community lists and route-map
+// community matches/sets.
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace campion::util {
+
+class Community {
+ public:
+  constexpr Community() = default;
+  constexpr Community(std::uint16_t high, std::uint16_t low)
+      : value_((std::uint32_t{high} << 16) | low) {}
+  constexpr explicit Community(std::uint32_t value) : value_(value) {}
+
+  // Parses "H:L" (both decimal) or a bare 32-bit decimal value.
+  static std::optional<Community> Parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr std::uint16_t high() const {
+    return static_cast<std::uint16_t>(value_ >> 16);
+  }
+  constexpr std::uint16_t low() const {
+    return static_cast<std::uint16_t>(value_ & 0xffff);
+  }
+
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(Community, Community) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace campion::util

@@ -1,0 +1,84 @@
+#include "util/ip.h"
+
+#include <charconv>
+
+namespace campion::util {
+namespace {
+
+// Parses a decimal integer in [0, max] from the front of `text`, advancing
+// it past the digits. Returns nullopt if there are no digits or the value
+// overflows.
+std::optional<std::uint32_t> ParseDecimal(std::string_view& text,
+                                          std::uint32_t max) {
+  std::uint32_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr == begin || value > max) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return value;
+}
+
+bool Consume(std::string_view& text, char c) {
+  if (text.empty() || text.front() != c) return false;
+  text.remove_prefix(1);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  std::uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0 && !Consume(text, '.')) return std::nullopt;
+    auto octet = ParseDecimal(text, 255);
+    if (!octet) return std::nullopt;
+    bits = (bits << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Address(bits);
+}
+
+std::string Ipv4Address::ToString() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((bits_ >> shift) & 0xff);
+  }
+  return out;
+}
+
+std::optional<int> MaskToLength(std::uint32_t mask) {
+  for (int len = 0; len <= 32; ++len) {
+    if (mask == MaskBits(len)) return len;
+  }
+  return std::nullopt;
+}
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Address::Parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  auto len = ParseDecimal(len_text, 32);
+  if (!len || !len_text.empty()) return std::nullopt;
+  return Prefix(*addr, static_cast<int>(*len));
+}
+
+std::string Prefix::ToString() const {
+  return addr_.ToString() + "/" + std::to_string(length_);
+}
+
+std::optional<Prefix> IpWildcard::AsPrefix() const {
+  auto len = MaskToLength(~wildcard_);
+  if (!len) return std::nullopt;
+  return Prefix(addr_, *len);
+}
+
+std::string IpWildcard::ToString() const {
+  return addr_.ToString() + " " + Ipv4Address(wildcard_).ToString();
+}
+
+}  // namespace campion::util

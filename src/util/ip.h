@@ -1,0 +1,123 @@
+#pragma once
+
+// IPv4 addresses, network prefixes, and wildcard masks.
+//
+// These are the basic value types used throughout Campion: configurations
+// match on prefixes (route maps, prefix lists, static routes) and on
+// address/wildcard pairs (Cisco extended ACLs).
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace campion::util {
+
+// An IPv4 address stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t bits) : bits_(bits) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  // Parses dotted-quad notation ("10.9.0.0"). Returns nullopt on any
+  // malformed input (out-of-range octet, missing dot, trailing junk).
+  static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  constexpr std::uint32_t bits() const { return bits_; }
+  std::string ToString() const;
+
+  // The i-th bit counting from the most significant (bit 0 is the top bit).
+  constexpr bool Bit(int i) const { return (bits_ >> (31 - i)) & 1u; }
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+// The network mask with `len` leading one bits.
+constexpr std::uint32_t MaskBits(int len) {
+  return len <= 0 ? 0u : (len >= 32 ? ~0u : ~0u << (32 - len));
+}
+
+// Returns the prefix length if `mask` is a contiguous netmask
+// (255.255.254.0 etc.), nullopt otherwise.
+std::optional<int> MaskToLength(std::uint32_t mask);
+
+// An IPv4 prefix: address plus length, with host bits always zeroed so that
+// equal prefixes compare equal.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Ipv4Address addr, int length)
+      : addr_(addr.bits() & MaskBits(length)), length_(length) {}
+
+  // Parses "a.b.c.d/len". Returns nullopt on malformed input.
+  static std::optional<Prefix> Parse(std::string_view text);
+
+  constexpr Ipv4Address address() const { return addr_; }
+  constexpr int length() const { return length_; }
+  std::string ToString() const;
+
+  // True if `addr` lies inside this prefix.
+  constexpr bool Contains(Ipv4Address addr) const {
+    return (addr.bits() & MaskBits(length_)) == addr_.bits();
+  }
+
+  // True if `other` is a (non-strict) subnet of this prefix.
+  constexpr bool Contains(const Prefix& other) const {
+    return other.length_ >= length_ && Contains(other.addr_);
+  }
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Address addr_;
+  int length_ = 0;
+};
+
+// A Cisco-style address/wildcard pair ("9.140.0.0 0.0.1.255"). Wildcard bits
+// set to one are "don't care". Unlike prefixes the don't-care bits need not
+// be contiguous, though in practice they almost always are.
+class IpWildcard {
+ public:
+  constexpr IpWildcard() = default;
+  constexpr IpWildcard(Ipv4Address addr, std::uint32_t wildcard_bits)
+      : addr_(addr.bits() & ~wildcard_bits), wildcard_(wildcard_bits) {}
+  // A wildcard that matches exactly the given prefix.
+  constexpr explicit IpWildcard(const Prefix& p)
+      : IpWildcard(p.address(), ~MaskBits(p.length())) {}
+  // A wildcard matching exactly one address.
+  constexpr explicit IpWildcard(Ipv4Address host) : IpWildcard(host, 0) {}
+
+  static constexpr IpWildcard Any() {
+    return IpWildcard(Ipv4Address(0), ~0u);
+  }
+
+  constexpr Ipv4Address address() const { return addr_; }
+  constexpr std::uint32_t wildcard_bits() const { return wildcard_; }
+
+  constexpr bool Matches(Ipv4Address a) const {
+    return (a.bits() | wildcard_) == (addr_.bits() | wildcard_);
+  }
+  constexpr bool IsAny() const { return wildcard_ == ~0u; }
+
+  // If the wildcard is a contiguous suffix of don't-care bits, the
+  // equivalent prefix.
+  std::optional<Prefix> AsPrefix() const;
+
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(const IpWildcard&,
+                                    const IpWildcard&) = default;
+
+ private:
+  Ipv4Address addr_;
+  std::uint32_t wildcard_ = 0;
+};
+
+}  // namespace campion::util

@@ -1,0 +1,49 @@
+#include "util/prefix_range.h"
+
+namespace campion::util {
+
+bool PrefixRange::ContainsRange(const PrefixRange& other) const {
+  if (other.IsEmpty()) return true;
+  if (IsEmpty()) return false;
+  if (other.EffectiveLow() < EffectiveLow() ||
+      other.EffectiveHigh() > EffectiveHigh()) {
+    return false;
+  }
+  // Members of `other` fix the first other.prefix.length address bits and
+  // leave the rest free, so containment additionally requires our base to
+  // be a (non-strict) supernet of other's base. A strictly longer base on
+  // our side always loses: some member of `other` can flip a bit inside it.
+  return prefix_.length() <= other.prefix_.length() &&
+         prefix_.Contains(other.prefix_);
+}
+
+std::optional<PrefixRange> PrefixRange::Intersect(
+    const PrefixRange& other) const {
+  // Base prefixes are tree-ordered: they are disjoint, or one contains the
+  // other. Disjoint bases mean an empty intersection.
+  const Prefix* longer = &prefix_;
+  if (other.prefix_.length() > prefix_.length()) longer = &other.prefix_;
+  if (!prefix_.Contains(*longer) || !other.prefix_.Contains(*longer)) {
+    return std::nullopt;
+  }
+  int low = low_ > other.low_ ? low_ : other.low_;
+  int high = high_ < other.high_ ? high_ : other.high_;
+  PrefixRange result(*longer, low, high);
+  if (result.IsEmpty()) return std::nullopt;
+  return result;
+}
+
+std::string PrefixRange::ToString() const {
+  return prefix_.ToString() + " : " + std::to_string(low_) + "-" +
+         std::to_string(high_);
+}
+
+std::string PrefixRangeTerm::ToString() const {
+  std::string out = include.ToString();
+  for (const auto& x : exclude) {
+    out += "  minus  " + x.ToString();
+  }
+  return out;
+}
+
+}  // namespace campion::util

@@ -1,0 +1,89 @@
+#pragma once
+
+// Prefix ranges, the vocabulary of HeaderLocalize (§3.2 of the paper).
+//
+// A prefix range pairs a prefix with a range of prefix lengths. The range
+// (1.2.0.0/16, 16-32) denotes every prefix whose address matches 1.2.0.0/16
+// and whose length lies in [16, 32]. Prefix lists in both Cisco ("le"/"ge")
+// and Juniper ("prefix-length-range", "orlonger", "upto") compile to prefix
+// ranges, and Campion reports difference header spaces as unions and
+// differences of these ranges.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ip.h"
+
+namespace campion::util {
+
+class PrefixRange {
+ public:
+  constexpr PrefixRange() = default;
+  constexpr PrefixRange(Prefix prefix, int low, int high)
+      : prefix_(prefix), low_(low), high_(high) {}
+
+  // The range matching exactly one prefix.
+  constexpr explicit PrefixRange(Prefix prefix)
+      : PrefixRange(prefix, prefix.length(), prefix.length()) {}
+
+  // The universe U = (0.0.0.0/0, 0-32): every IPv4 prefix.
+  static constexpr PrefixRange Universe() {
+    return PrefixRange(Prefix(Ipv4Address(0), 0), 0, 32);
+  }
+
+  constexpr const Prefix& prefix() const { return prefix_; }
+  constexpr int low() const { return low_; }
+  constexpr int high() const { return high_; }
+
+  // A range is empty when no length in [low, high] is both >= the base
+  // prefix length (a member must be a subnet of the base) and <= 32.
+  constexpr bool IsEmpty() const {
+    return EffectiveLow() > EffectiveHigh();
+  }
+
+  // Membership: prefix p is in this range iff its address matches our base
+  // prefix and its length falls inside [low, high].
+  constexpr bool Contains(const Prefix& p) const {
+    return p.length() >= low_ && p.length() <= high_ &&
+           prefix_.Contains(p);
+  }
+
+  // Containment between ranges: every member of `other` is a member of
+  // this range. Empty ranges are contained in everything.
+  bool ContainsRange(const PrefixRange& other) const;
+
+  // Intersection of the two member sets, expressible as a prefix range
+  // whenever it is non-empty (the base prefixes are tree-ordered).
+  std::optional<PrefixRange> Intersect(const PrefixRange& other) const;
+
+  // Renders as "10.9.0.0/16 : 16-32", matching the paper's tables.
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(const PrefixRange&,
+                                    const PrefixRange&) = default;
+
+ private:
+  constexpr int EffectiveLow() const {
+    return low_ < prefix_.length() ? prefix_.length() : low_;
+  }
+  constexpr int EffectiveHigh() const { return high_ > 32 ? 32 : high_; }
+
+  Prefix prefix_;
+  int low_ = 0;
+  int high_ = 0;
+};
+
+// A term of HeaderLocalize output: a positive range minus zero or more
+// subtracted ranges, e.g. "B - D". After the nested-difference flattening
+// pass the subtracted ranges are plain ranges (no further nesting).
+struct PrefixRangeTerm {
+  PrefixRange include;
+  std::vector<PrefixRange> exclude;
+
+  std::string ToString() const;
+  friend auto operator<=>(const PrefixRangeTerm&,
+                          const PrefixRangeTerm&) = default;
+};
+
+}  // namespace campion::util

@@ -1,0 +1,29 @@
+#pragma once
+
+// Source-text provenance for text localization.
+//
+// Every IR node that can appear in a Campion difference carries a SourceSpan
+// recording where in the original configuration it came from and the raw
+// text. The paper obtains this by unparsing Batfish's representation; we
+// track it during parsing, and fall back to unparsed canonical text for IR
+// built programmatically (e.g. by the workload generator).
+
+#include <string>
+
+namespace campion::util {
+
+struct SourceSpan {
+  std::string file;
+  int first_line = 0;  // 1-based; 0 means "no source location".
+  int last_line = 0;
+  std::string text;  // The raw configuration text of this span.
+
+  bool HasLocation() const { return first_line > 0; }
+
+  // "router.cfg:7-8" or "<generated>" when there is no location.
+  std::string LocationString() const;
+
+  friend bool operator==(const SourceSpan&, const SourceSpan&) = default;
+};
+
+}  // namespace campion::util

@@ -1,0 +1,98 @@
+#include "util/text_table.h"
+
+#include <algorithm>
+
+namespace campion::util {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find('\n', start);
+    if (pos == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+    if (start == text.size()) break;  // Trailing newline: no empty tail.
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines,
+                      const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) out += sep;
+    out += lines[i];
+  }
+  return out;
+}
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  const std::size_t ncols = columns_.size();
+  std::vector<std::size_t> widths(ncols);
+  for (std::size_t c = 0; c < ncols; ++c) widths[c] = columns_[c].size();
+
+  std::vector<std::vector<std::vector<std::string>>> cell_lines;
+  cell_lines.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::vector<std::string>> split;
+    split.reserve(ncols);
+    for (std::size_t c = 0; c < ncols; ++c) {
+      split.push_back(SplitLines(row[c]));
+      for (const auto& line : split.back()) {
+        widths[c] = std::max(widths[c], line.size());
+      }
+    }
+    cell_lines.push_back(std::move(split));
+  }
+
+  auto separator = [&] {
+    std::string s = "+";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      s += std::string(widths[c] + 2, '-');
+      s += "+";
+    }
+    s += "\n";
+    return s;
+  }();
+
+  auto emit_line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      s += " " + text + std::string(widths[c] - text.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = separator;
+  out += emit_line(columns_);
+  out += separator;
+  for (const auto& row : cell_lines) {
+    std::size_t height = 0;
+    for (const auto& cell : row) height = std::max(height, cell.size());
+    for (std::size_t i = 0; i < height; ++i) {
+      std::vector<std::string> line(ncols);
+      for (std::size_t c = 0; c < ncols; ++c) {
+        if (i < row[c].size()) line[c] = row[c][i];
+      }
+      out += emit_line(line);
+    }
+    out += separator;
+  }
+  return out;
+}
+
+}  // namespace campion::util

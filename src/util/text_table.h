@@ -1,0 +1,37 @@
+#pragma once
+
+// Plain-text table rendering for Campion's Present stage. The paper's
+// difference reports (Tables 2, 4, 7) are two-column "field | router1 |
+// router2" tables with multi-line cells; this renders them with box-drawing
+// in fixed-width text.
+
+#include <string>
+#include <vector>
+
+namespace campion::util {
+
+class TextTable {
+ public:
+  // `columns` are the header labels; the first column is the field name.
+  explicit TextTable(std::vector<std::string> columns);
+
+  // Adds a row; each cell may contain embedded newlines.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with aligned columns and +---+ separators.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Splits on '\n'. A trailing newline does not produce an empty final line;
+// an empty string produces one empty line.
+std::vector<std::string> SplitLines(const std::string& text);
+
+// Joins with the given separator.
+std::string JoinLines(const std::vector<std::string>& lines,
+                      const std::string& sep);
+
+}  // namespace campion::util

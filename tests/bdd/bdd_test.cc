@@ -1,0 +1,311 @@
+#include "bdd/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace campion::bdd {
+namespace {
+
+TEST(BddTest, Terminals) {
+  BddManager mgr(4);
+  EXPECT_EQ(mgr.False(), kFalse);
+  EXPECT_EQ(mgr.True(), kTrue);
+  EXPECT_TRUE(mgr.IsFalse(kFalse));
+  EXPECT_TRUE(mgr.IsTrue(kTrue));
+  EXPECT_TRUE(mgr.IsTerminal(kFalse));
+  EXPECT_TRUE(mgr.IsTerminal(kTrue));
+}
+
+TEST(BddTest, VariableCanonicity) {
+  BddManager mgr(4);
+  EXPECT_EQ(mgr.VarTrue(0), mgr.VarTrue(0));
+  EXPECT_NE(mgr.VarTrue(0), mgr.VarTrue(1));
+  EXPECT_EQ(mgr.Not(mgr.Not(mgr.VarTrue(2))), mgr.VarTrue(2));
+}
+
+TEST(BddTest, BooleanIdentities) {
+  BddManager mgr(4);
+  BddRef x = mgr.VarTrue(0);
+  BddRef y = mgr.VarTrue(1);
+  EXPECT_EQ(mgr.And(x, kTrue), x);
+  EXPECT_EQ(mgr.And(x, kFalse), kFalse);
+  EXPECT_EQ(mgr.Or(x, kFalse), x);
+  EXPECT_EQ(mgr.Or(x, kTrue), kTrue);
+  EXPECT_EQ(mgr.And(x, x), x);
+  EXPECT_EQ(mgr.Or(x, x), x);
+  EXPECT_EQ(mgr.And(x, mgr.Not(x)), kFalse);
+  EXPECT_EQ(mgr.Or(x, mgr.Not(x)), kTrue);
+  EXPECT_EQ(mgr.Xor(x, x), kFalse);
+  EXPECT_EQ(mgr.Xor(x, mgr.Not(x)), kTrue);
+  EXPECT_EQ(mgr.And(x, y), mgr.And(y, x));
+  EXPECT_EQ(mgr.Or(x, y), mgr.Or(y, x));
+}
+
+TEST(BddTest, DeMorgan) {
+  BddManager mgr(4);
+  BddRef x = mgr.VarTrue(0);
+  BddRef y = mgr.VarTrue(1);
+  EXPECT_EQ(mgr.Not(mgr.And(x, y)), mgr.Or(mgr.Not(x), mgr.Not(y)));
+  EXPECT_EQ(mgr.Not(mgr.Or(x, y)), mgr.And(mgr.Not(x), mgr.Not(y)));
+}
+
+TEST(BddTest, IteTruthTable) {
+  BddManager mgr(4);
+  BddRef x = mgr.VarTrue(0);
+  BddRef y = mgr.VarTrue(1);
+  BddRef z = mgr.VarTrue(2);
+  BddRef f = mgr.Ite(x, y, z);
+  // f(1, b, c) == b; f(0, b, c) == c -- check via implications.
+  EXPECT_EQ(mgr.And(f, x), mgr.And(mgr.And(x, y), kTrue));
+  EXPECT_EQ(mgr.And(f, mgr.Not(x)), mgr.And(mgr.Not(x), z));
+}
+
+TEST(BddTest, SubsetAndIntersects) {
+  BddManager mgr(4);
+  BddRef x = mgr.VarTrue(0);
+  BddRef y = mgr.VarTrue(1);
+  BddRef xy = mgr.And(x, y);
+  EXPECT_TRUE(mgr.Subset(xy, x));
+  EXPECT_FALSE(mgr.Subset(x, xy));
+  EXPECT_TRUE(mgr.Intersects(x, y));
+  EXPECT_FALSE(mgr.Intersects(x, mgr.Not(x)));
+  EXPECT_TRUE(mgr.Subset(kFalse, xy));
+}
+
+TEST(BddTest, SatCountSimple) {
+  BddManager mgr(3);
+  EXPECT_EQ(mgr.SatCount(kTrue), 8.0);
+  EXPECT_EQ(mgr.SatCount(kFalse), 0.0);
+  EXPECT_EQ(mgr.SatCount(mgr.VarTrue(0)), 4.0);
+  EXPECT_EQ(mgr.SatCount(mgr.And(mgr.VarTrue(0), mgr.VarTrue(2))), 2.0);
+  EXPECT_EQ(mgr.SatCount(mgr.Or(mgr.VarTrue(0), mgr.VarTrue(1))), 6.0);
+  EXPECT_EQ(mgr.SatCount(mgr.Xor(mgr.VarTrue(0), mgr.VarTrue(1))), 4.0);
+}
+
+TEST(BddTest, SatCountIsComplementary) {
+  BddManager mgr(10);
+  std::mt19937_64 rng(17);
+  BddRef f = kFalse;
+  for (int i = 0; i < 12; ++i) {
+    BddRef cube = kTrue;
+    for (Var v = 0; v < 10; ++v) {
+      switch (rng() % 3) {
+        case 0: cube = mgr.And(cube, mgr.VarTrue(v)); break;
+        case 1: cube = mgr.And(cube, mgr.VarFalse(v)); break;
+        default: break;
+      }
+    }
+    f = mgr.Or(f, cube);
+  }
+  EXPECT_EQ(mgr.SatCount(f) + mgr.SatCount(mgr.Not(f)), 1024.0);
+}
+
+TEST(BddTest, AnySatSatisfies) {
+  BddManager mgr(6);
+  BddRef f = mgr.And(mgr.VarTrue(1), mgr.VarFalse(4));
+  auto cube = mgr.AnySat(f);
+  ASSERT_TRUE(cube.has_value());
+  EXPECT_EQ((*cube)[1], 1);
+  EXPECT_EQ((*cube)[4], 0);
+  EXPECT_FALSE(mgr.AnySat(kFalse).has_value());
+}
+
+TEST(BddTest, MinSatIsLexicographicallyLeast) {
+  BddManager mgr(4);
+  // f = x0 | x1: least total assignment is 0100 (x0=0, x1=1, rest 0).
+  BddRef f = mgr.Or(mgr.VarTrue(0), mgr.VarTrue(1));
+  auto cube = mgr.MinSat(f);
+  ASSERT_TRUE(cube.has_value());
+  EXPECT_EQ(*cube, (Cube{0, 1, 0, 0}));
+  // f = x0 & !x1: least is 1000.
+  auto cube2 = mgr.MinSat(mgr.And(mgr.VarTrue(0), mgr.VarFalse(1)));
+  EXPECT_EQ(*cube2, (Cube{1, 0, 0, 0}));
+}
+
+TEST(BddTest, ForEachSatPathCoversFunction) {
+  BddManager mgr(4);
+  BddRef f = mgr.Or(mgr.And(mgr.VarTrue(0), mgr.VarTrue(1)),
+                    mgr.And(mgr.VarFalse(0), mgr.VarTrue(3)));
+  // Reconstruct f from its paths and compare.
+  BddRef rebuilt = kFalse;
+  int paths = 0;
+  mgr.ForEachSatPath(f, [&](const Cube& cube) {
+    ++paths;
+    BddRef term = kTrue;
+    for (Var v = 0; v < cube.size(); ++v) {
+      if (cube[v] == 1) term = mgr.And(term, mgr.VarTrue(v));
+      if (cube[v] == 0) term = mgr.And(term, mgr.VarFalse(v));
+    }
+    rebuilt = mgr.Or(rebuilt, term);
+  });
+  EXPECT_EQ(rebuilt, f);
+  EXPECT_GE(paths, 2);
+}
+
+TEST(BddTest, ExistsRemovesVariable) {
+  BddManager mgr(4);
+  BddRef f = mgr.And(mgr.VarTrue(0), mgr.VarTrue(2));
+  std::vector<bool> quantified(4, false);
+  quantified[2] = true;
+  BddRef g = mgr.Exists(f, quantified);
+  EXPECT_EQ(g, mgr.VarTrue(0));
+  auto support = mgr.Support(g);
+  EXPECT_EQ(support, (std::vector<Var>{0}));
+}
+
+TEST(BddTest, ExistsOfDisjunction) {
+  BddManager mgr(4);
+  // exists x1. (x0 & x1) | (!x1 & x2)  ==  x0 | x2
+  BddRef f = mgr.Or(mgr.And(mgr.VarTrue(0), mgr.VarTrue(1)),
+                    mgr.And(mgr.VarFalse(1), mgr.VarTrue(2)));
+  std::vector<bool> quantified(4, false);
+  quantified[1] = true;
+  EXPECT_EQ(mgr.Exists(f, quantified),
+            mgr.Or(mgr.VarTrue(0), mgr.VarTrue(2)));
+}
+
+TEST(BddTest, ExistsIsMonotone) {
+  BddManager mgr(8);
+  std::mt19937_64 rng(99);
+  std::vector<bool> quantified(8, false);
+  quantified[3] = quantified[5] = true;
+  for (int trial = 0; trial < 20; ++trial) {
+    BddRef f = kFalse;
+    for (int i = 0; i < 6; ++i) {
+      BddRef cube = kTrue;
+      for (Var v = 0; v < 8; ++v) {
+        switch (rng() % 3) {
+          case 0: cube = mgr.And(cube, mgr.VarTrue(v)); break;
+          case 1: cube = mgr.And(cube, mgr.VarFalse(v)); break;
+          default: break;
+        }
+      }
+      f = mgr.Or(f, cube);
+    }
+    BddRef g = mgr.Exists(f, quantified);
+    EXPECT_TRUE(mgr.Subset(f, g));  // f => exists.f
+  }
+}
+
+TEST(BddTest, SupportListsDependencies) {
+  BddManager mgr(6);
+  BddRef f = mgr.Ite(mgr.VarTrue(1), mgr.VarTrue(3), mgr.VarTrue(5));
+  EXPECT_EQ(mgr.Support(f), (std::vector<Var>{1, 3, 5}));
+  EXPECT_TRUE(mgr.Support(kTrue).empty());
+}
+
+TEST(BddTest, NodeCountOfParity) {
+  BddManager mgr(8);
+  BddRef parity = kFalse;
+  for (Var v = 0; v < 8; ++v) parity = mgr.Xor(parity, mgr.VarTrue(v));
+  // Parity has 2 internal nodes per level except the last: 2n - 1.
+  EXPECT_EQ(mgr.NodeCount(parity), 15u);
+}
+
+TEST(BddTest, AddVarsExtendsOrder) {
+  BddManager mgr(2);
+  Var first = mgr.AddVars(3);
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(mgr.num_vars(), 5u);
+  BddRef f = mgr.And(mgr.VarTrue(0), mgr.VarTrue(4));
+  EXPECT_NE(f, kFalse);
+}
+
+// Property test: random expression pairs evaluated against explicit truth
+// tables over 10 variables.
+class BddRandomPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomPropertyTest, MatchesTruthTableSemantics) {
+  constexpr Var kVars = 10;
+  BddManager mgr(kVars);
+  std::mt19937_64 rng(GetParam());
+
+  // A random expression tree, plus its truth table of 1024 bits.
+  struct Expr {
+    BddRef bdd;
+    std::vector<bool> table;
+  };
+  auto leaf = [&](Var v) {
+    Expr e;
+    e.bdd = mgr.VarTrue(v);
+    e.table.resize(1u << kVars);
+    for (std::size_t a = 0; a < e.table.size(); ++a) {
+      e.table[a] = (a >> (kVars - 1 - v)) & 1u;
+    }
+    return e;
+  };
+  std::vector<Expr> pool;
+  for (Var v = 0; v < kVars; ++v) pool.push_back(leaf(v));
+  for (int step = 0; step < 30; ++step) {
+    const Expr& a = pool[rng() % pool.size()];
+    const Expr& b = pool[rng() % pool.size()];
+    Expr e;
+    e.table.resize(1u << kVars);
+    switch (rng() % 4) {
+      case 0:
+        e.bdd = mgr.And(a.bdd, b.bdd);
+        for (std::size_t i = 0; i < e.table.size(); ++i) {
+          e.table[i] = a.table[i] && b.table[i];
+        }
+        break;
+      case 1:
+        e.bdd = mgr.Or(a.bdd, b.bdd);
+        for (std::size_t i = 0; i < e.table.size(); ++i) {
+          e.table[i] = a.table[i] || b.table[i];
+        }
+        break;
+      case 2:
+        e.bdd = mgr.Xor(a.bdd, b.bdd);
+        for (std::size_t i = 0; i < e.table.size(); ++i) {
+          e.table[i] = a.table[i] != b.table[i];
+        }
+        break;
+      default:
+        e.bdd = mgr.Not(a.bdd);
+        for (std::size_t i = 0; i < e.table.size(); ++i) {
+          e.table[i] = !a.table[i];
+        }
+        break;
+    }
+    pool.push_back(std::move(e));
+  }
+
+  const Expr& final_expr = pool.back();
+  // 1. SatCount matches the table's popcount.
+  std::size_t ones = 0;
+  for (bool b : final_expr.table) ones += b;
+  EXPECT_EQ(mgr.SatCount(final_expr.bdd), static_cast<double>(ones));
+  // 2. Canonicity: rebuilding from the truth table gives the same node.
+  BddRef rebuilt = kFalse;
+  for (std::size_t a = 0; a < final_expr.table.size(); ++a) {
+    if (!final_expr.table[a]) continue;
+    BddRef cube = kTrue;
+    for (Var v = 0; v < kVars; ++v) {
+      bool bit = (a >> (kVars - 1 - v)) & 1u;
+      cube = mgr.And(cube, bit ? mgr.VarTrue(v) : mgr.VarFalse(v));
+    }
+    rebuilt = mgr.Or(rebuilt, cube);
+  }
+  EXPECT_EQ(rebuilt, final_expr.bdd);
+  // 3. MinSat decodes to the least set bit of the table.
+  auto min_cube = mgr.MinSat(final_expr.bdd);
+  if (ones == 0) {
+    EXPECT_FALSE(min_cube.has_value());
+  } else {
+    ASSERT_TRUE(min_cube.has_value());
+    std::size_t decoded = 0;
+    for (Var v = 0; v < kVars; ++v) {
+      decoded = (decoded << 1) | static_cast<std::size_t>((*min_cube)[v]);
+    }
+    std::size_t least = 0;
+    while (!final_expr.table[least]) ++least;
+    EXPECT_EQ(decoded, least);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomPropertyTest,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace campion::bdd

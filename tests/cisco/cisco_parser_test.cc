@@ -1,0 +1,386 @@
+#include "cisco/cisco_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace campion::cisco {
+namespace {
+
+using util::Ipv4Address;
+using util::Prefix;
+using util::PrefixRange;
+
+ir::RouterConfig Parse(const std::string& text) {
+  return ParseCiscoConfig(text, "test.cfg").config;
+}
+
+TEST(CiscoParserTest, HostnameAndVendor) {
+  auto config = Parse("hostname edge-1\n");
+  EXPECT_EQ(config.hostname, "edge-1");
+  EXPECT_EQ(config.vendor, ir::Vendor::kCisco);
+}
+
+TEST(CiscoParserTest, InterfaceAddressAndMask) {
+  auto config = Parse(
+      "interface GigabitEthernet0/1\n"
+      " ip address 10.0.1.1 255.255.255.0\n"
+      "!\n");
+  ASSERT_EQ(config.interfaces.size(), 1u);
+  const ir::Interface& iface = config.interfaces[0];
+  EXPECT_EQ(iface.name, "GigabitEthernet0/1");
+  EXPECT_EQ(iface.address, Ipv4Address(10, 0, 1, 1));
+  EXPECT_EQ(iface.prefix_length, 24);
+  EXPECT_EQ(iface.ConnectedSubnet(), *Prefix::Parse("10.0.1.0/24"));
+}
+
+TEST(CiscoParserTest, InterfaceShutdownAndAcls) {
+  auto config = Parse(
+      "interface Ethernet1\n"
+      " ip address 10.0.1.1 255.255.255.254\n"
+      " ip access-group FILTER-IN in\n"
+      " ip access-group FILTER-OUT out\n"
+      " shutdown\n"
+      "!\n");
+  const ir::Interface& iface = config.interfaces[0];
+  EXPECT_TRUE(iface.shutdown);
+  EXPECT_EQ(iface.in_acl, "FILTER-IN");
+  EXPECT_EQ(iface.out_acl, "FILTER-OUT");
+  EXPECT_EQ(iface.prefix_length, 31);
+}
+
+TEST(CiscoParserTest, StaticRouteBasic) {
+  auto config = Parse("ip route 10.1.1.2 255.255.255.254 10.2.2.2\n");
+  ASSERT_EQ(config.static_routes.size(), 1u);
+  const ir::StaticRoute& route = config.static_routes[0];
+  EXPECT_EQ(route.prefix, *Prefix::Parse("10.1.1.2/31"));
+  EXPECT_EQ(route.next_hop, Ipv4Address(10, 2, 2, 2));
+  EXPECT_EQ(route.admin_distance, 1);
+  EXPECT_FALSE(route.tag.has_value());
+  EXPECT_EQ(route.span.first_line, 1);
+  EXPECT_NE(route.span.text.find("ip route"), std::string::npos);
+}
+
+TEST(CiscoParserTest, StaticRouteWithDistanceAndTag) {
+  auto config = Parse("ip route 10.1.0.0 255.255.0.0 10.2.2.2 250 tag 77\n");
+  ASSERT_EQ(config.static_routes.size(), 1u);
+  EXPECT_EQ(config.static_routes[0].admin_distance, 250);
+  EXPECT_EQ(config.static_routes[0].tag, 77u);
+}
+
+TEST(CiscoParserTest, StaticRouteViaInterface) {
+  auto config = Parse("ip route 0.0.0.0 0.0.0.0 Null0\n");
+  ASSERT_EQ(config.static_routes.size(), 1u);
+  EXPECT_FALSE(config.static_routes[0].next_hop.has_value());
+  EXPECT_EQ(config.static_routes[0].next_hop_interface, "Null0");
+}
+
+TEST(CiscoParserTest, PrefixListWindows) {
+  auto config = Parse(
+      "ip prefix-list PL seq 5 permit 10.9.0.0/16 le 32\n"
+      "ip prefix-list PL seq 10 permit 10.10.0.0/16 ge 24\n"
+      "ip prefix-list PL seq 15 permit 10.11.0.0/16 ge 20 le 28\n"
+      "ip prefix-list PL seq 20 deny 10.12.0.0/16\n");
+  const ir::PrefixList* list = config.FindPrefixList("PL");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->entries.size(), 4u);
+  EXPECT_EQ(list->entries[0].range,
+            PrefixRange(*Prefix::Parse("10.9.0.0/16"), 16, 32));
+  EXPECT_EQ(list->entries[1].range,
+            PrefixRange(*Prefix::Parse("10.10.0.0/16"), 24, 32));
+  EXPECT_EQ(list->entries[2].range,
+            PrefixRange(*Prefix::Parse("10.11.0.0/16"), 20, 28));
+  EXPECT_EQ(list->entries[3].range,
+            PrefixRange(*Prefix::Parse("10.12.0.0/16"), 16, 16));
+  EXPECT_EQ(list->entries[3].action, ir::LineAction::kDeny);
+}
+
+TEST(CiscoParserTest, CommunityListEntriesAreOrOfAnds) {
+  auto config = Parse(
+      "ip community-list standard CL permit 10:10\n"
+      "ip community-list standard CL permit 10:11 10:12\n"
+      "ip community-list standard CL deny 10:13\n");
+  const ir::CommunityList* list = config.FindCommunityList("CL");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->entries.size(), 3u);
+  EXPECT_EQ(list->entries[0].all_of.size(), 1u);
+  EXPECT_EQ(list->entries[1].all_of.size(), 2u);  // AND within one line.
+  EXPECT_EQ(list->entries[2].action, ir::LineAction::kDeny);
+}
+
+TEST(CiscoParserTest, RouteMapClausesInSequence) {
+  auto config = Parse(
+      "route-map POL deny 10\n"
+      " match ip address prefix-list NETS\n"
+      "route-map POL permit 20\n"
+      " match community COMM\n"
+      " set local-preference 200\n"
+      " set community 65000:1 additive\n"
+      "route-map POL permit 30\n");
+  const ir::RouteMap* map = config.FindRouteMap("POL");
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->clauses.size(), 3u);
+  EXPECT_EQ(map->default_action, ir::ClauseAction::kDeny);
+
+  EXPECT_EQ(map->clauses[0].sequence, 10);
+  EXPECT_EQ(map->clauses[0].action, ir::ClauseAction::kDeny);
+  ASSERT_EQ(map->clauses[0].matches.size(), 1u);
+  EXPECT_EQ(map->clauses[0].matches[0].kind,
+            ir::RouteMapMatch::Kind::kPrefixList);
+  EXPECT_EQ(map->clauses[0].matches[0].names,
+            std::vector<std::string>{"NETS"});
+
+  ASSERT_EQ(map->clauses[1].sets.size(), 2u);
+  EXPECT_EQ(map->clauses[1].sets[0].kind,
+            ir::RouteMapSet::Kind::kLocalPreference);
+  EXPECT_EQ(map->clauses[1].sets[0].value, 200u);
+  EXPECT_EQ(map->clauses[1].sets[1].kind,
+            ir::RouteMapSet::Kind::kCommunityAdd);
+
+  EXPECT_TRUE(map->clauses[2].matches.empty());
+}
+
+TEST(CiscoParserTest, RouteMapSpanCoversClauseLines) {
+  auto config = Parse(
+      "route-map POL deny 10\n"
+      " match ip address NETS\n");
+  const ir::RouteMap* map = config.FindRouteMap("POL");
+  ASSERT_NE(map, nullptr);
+  const ir::RouteMapClause& clause = map->clauses[0];
+  EXPECT_EQ(clause.span.first_line, 1);
+  EXPECT_EQ(clause.span.last_line, 2);
+  EXPECT_NE(clause.span.text.find("route-map POL deny 10"),
+            std::string::npos);
+  EXPECT_NE(clause.span.text.find("match ip address NETS"),
+            std::string::npos);
+}
+
+TEST(CiscoParserTest, RouteMapSetNextHopAndTagAndMetric) {
+  auto config = Parse(
+      "route-map RM permit 10\n"
+      " set ip next-hop 10.0.0.9\n"
+      " set tag 42\n"
+      " set metric 120\n"
+      " match tag 7\n"
+      " match metric 99\n"
+      " match source-protocol static\n");
+  const ir::RouteMap* map = config.FindRouteMap("RM");
+  ASSERT_NE(map, nullptr);
+  const ir::RouteMapClause& clause = map->clauses[0];
+  ASSERT_EQ(clause.sets.size(), 3u);
+  EXPECT_EQ(clause.sets[0].kind, ir::RouteMapSet::Kind::kNextHop);
+  EXPECT_EQ(clause.sets[0].next_hop, Ipv4Address(10, 0, 0, 9));
+  EXPECT_EQ(clause.sets[1].value, 42u);
+  EXPECT_EQ(clause.sets[2].value, 120u);
+  ASSERT_EQ(clause.matches.size(), 3u);
+  EXPECT_EQ(clause.matches[2].protocol, ir::Protocol::kStatic);
+}
+
+TEST(CiscoParserTest, NamedExtendedAcl) {
+  auto config = Parse(
+      "ip access-list extended FILTER\n"
+      " permit tcp 10.1.0.0 0.0.255.255 any eq 443\n"
+      " deny ip host 10.2.2.2 10.3.0.0 0.0.0.255\n"
+      " permit icmp any any echo\n");
+  const ir::Acl* acl = config.FindAcl("FILTER");
+  ASSERT_NE(acl, nullptr);
+  ASSERT_EQ(acl->lines.size(), 3u);
+
+  EXPECT_EQ(acl->lines[0].action, ir::LineAction::kPermit);
+  EXPECT_EQ(acl->lines[0].protocol, ir::kProtoTcp);
+  EXPECT_EQ(acl->lines[0].src.address(), Ipv4Address(10, 1, 0, 0));
+  EXPECT_TRUE(acl->lines[0].dst.IsAny());
+  ASSERT_EQ(acl->lines[0].dst_ports.size(), 1u);
+  EXPECT_EQ(acl->lines[0].dst_ports[0], (ir::PortRange{443, 443}));
+
+  EXPECT_EQ(acl->lines[1].action, ir::LineAction::kDeny);
+  EXPECT_FALSE(acl->lines[1].protocol.has_value());
+  EXPECT_EQ(acl->lines[1].src.wildcard_bits(), 0u);
+
+  EXPECT_EQ(acl->lines[2].protocol, ir::kProtoIcmp);
+  EXPECT_EQ(acl->lines[2].icmp_type, 8);
+}
+
+TEST(CiscoParserTest, NumberedAcl) {
+  auto config = Parse(
+      "access-list 101 permit udp any any eq 53\n"
+      "access-list 101 deny ip any any\n");
+  const ir::Acl* acl = config.FindAcl("101");
+  ASSERT_NE(acl, nullptr);
+  EXPECT_EQ(acl->lines.size(), 2u);
+}
+
+TEST(CiscoParserTest, AclPortOperators) {
+  auto config = Parse(
+      "ip access-list extended P\n"
+      " permit tcp any any range 1024 2048\n"
+      " permit tcp any any gt 1023\n"
+      " permit tcp any any lt 512\n"
+      " permit tcp any eq 179 any\n");
+  const ir::Acl* acl = config.FindAcl("P");
+  ASSERT_NE(acl, nullptr);
+  ASSERT_EQ(acl->lines.size(), 4u);
+  EXPECT_EQ(acl->lines[0].dst_ports[0], (ir::PortRange{1024, 2048}));
+  EXPECT_EQ(acl->lines[1].dst_ports[0], (ir::PortRange{1024, 65535}));
+  EXPECT_EQ(acl->lines[2].dst_ports[0], (ir::PortRange{0, 511}));
+  EXPECT_EQ(acl->lines[3].src_ports[0], (ir::PortRange{179, 179}));
+}
+
+TEST(CiscoParserTest, OspfProcessAndNetworks) {
+  auto config = Parse(
+      "interface Ethernet1\n"
+      " ip address 10.0.1.1 255.255.255.0\n"
+      "!\n"
+      "interface Ethernet2\n"
+      " ip address 192.168.0.1 255.255.255.0\n"
+      "!\n"
+      "router ospf 10\n"
+      " router-id 1.1.1.1\n"
+      " network 10.0.0.0 0.255.255.255 area 0\n"
+      " passive-interface Ethernet2\n"
+      " redistribute static route-map RM-STATIC\n"
+      " auto-cost reference-bandwidth 100000\n");
+  ASSERT_TRUE(config.ospf.has_value());
+  EXPECT_EQ(config.ospf->process_id, 10u);
+  EXPECT_EQ(config.ospf->router_id, Ipv4Address(1, 1, 1, 1));
+  EXPECT_EQ(config.ospf->reference_bandwidth_mbps, 100000u);
+  ASSERT_EQ(config.ospf->redistributions.size(), 1u);
+  EXPECT_EQ(config.ospf->redistributions[0].from, ir::Protocol::kStatic);
+  EXPECT_EQ(config.ospf->redistributions[0].route_map, "RM-STATIC");
+  // Network statement enables OSPF on Ethernet1 only.
+  EXPECT_TRUE(config.interfaces[0].ospf_enabled);
+  EXPECT_EQ(config.interfaces[0].ospf_area, 0u);
+  EXPECT_FALSE(config.interfaces[1].ospf_enabled);
+  EXPECT_TRUE(config.interfaces[1].ospf_passive);
+}
+
+TEST(CiscoParserTest, InterfaceLevelOspf) {
+  auto config = Parse(
+      "interface Ethernet1\n"
+      " ip address 10.0.1.1 255.255.255.0\n"
+      " ip ospf cost 55\n"
+      " ip ospf 1 area 3\n");
+  EXPECT_EQ(config.interfaces[0].ospf_cost, 55u);
+  EXPECT_TRUE(config.interfaces[0].ospf_enabled);
+  EXPECT_EQ(config.interfaces[0].ospf_area, 3u);
+}
+
+TEST(CiscoParserTest, BgpNeighborsAndProperties) {
+  auto config = Parse(
+      "router bgp 65000\n"
+      " bgp router-id 2.2.2.2\n"
+      " network 10.1.0.0 mask 255.255.0.0\n"
+      " neighbor 10.0.0.2 remote-as 65001\n"
+      " neighbor 10.0.0.2 route-map IMP in\n"
+      " neighbor 10.0.0.2 route-map EXP out\n"
+      " neighbor 10.0.0.2 send-community\n"
+      " neighbor 10.0.0.6 remote-as 65000\n"
+      " neighbor 10.0.0.6 route-reflector-client\n"
+      " neighbor 10.0.0.6 next-hop-self\n"
+      " redistribute connected route-map RM-CONN\n"
+      " distance bgp 25 210 200\n");
+  ASSERT_TRUE(config.bgp.has_value());
+  EXPECT_EQ(config.bgp->asn, 65000u);
+  EXPECT_EQ(config.bgp->router_id, Ipv4Address(2, 2, 2, 2));
+  ASSERT_EQ(config.bgp->networks.size(), 1u);
+  EXPECT_EQ(config.bgp->networks[0], *Prefix::Parse("10.1.0.0/16"));
+  ASSERT_EQ(config.bgp->neighbors.size(), 2u);
+  const ir::BgpNeighbor& ebgp = config.bgp->neighbors[0];
+  EXPECT_EQ(ebgp.remote_as, 65001u);
+  EXPECT_EQ(ebgp.import_policy, "IMP");
+  EXPECT_EQ(ebgp.export_policy, "EXP");
+  EXPECT_TRUE(ebgp.send_community);
+  const ir::BgpNeighbor& ibgp = config.bgp->neighbors[1];
+  EXPECT_TRUE(ibgp.route_reflector_client);
+  EXPECT_TRUE(ibgp.next_hop_self);
+  EXPECT_FALSE(ibgp.send_community);
+  ASSERT_EQ(config.bgp->redistributions.size(), 1u);
+  EXPECT_EQ(config.bgp->redistributions[0].from, ir::Protocol::kConnected);
+  EXPECT_EQ(config.admin_distances.ebgp, 25);
+  EXPECT_EQ(config.admin_distances.ibgp, 210);
+}
+
+TEST(CiscoParserTest, DiagnosticsForUnknownLines) {
+  auto result = ParseCiscoConfig("frobnicate the network\n", "x.cfg");
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_NE(result.diagnostics[0].find("x.cfg:1"), std::string::npos);
+}
+
+TEST(CiscoParserTest, MalformedLinesDiagnosedNotFatal) {
+  auto result = ParseCiscoConfig(
+      "ip route 10.1.1.2 bogus 10.2.2.2\n"
+      "ip prefix-list PL permit not-a-prefix\n"
+      "hostname ok\n",
+      "x.cfg");
+  EXPECT_EQ(result.config.hostname, "ok");
+  EXPECT_EQ(result.diagnostics.size(), 2u);
+  EXPECT_TRUE(result.config.static_routes.empty());
+}
+
+TEST(CiscoParserTest, IgnoredDirectivesProduceNoDiagnostics) {
+  auto result = ParseCiscoConfig(
+      "version 15.2\n"
+      "service timestamps debug datetime msec\n"
+      "no ip domain lookup\n"
+      "logging buffered 4096\n"
+      "ntp server 10.0.0.1\n"
+      "end\n",
+      "x.cfg");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(CiscoParserTest, CarriageReturnsStripped) {
+  auto config = Parse("hostname crlf-router\r\n");
+  EXPECT_EQ(config.hostname, "crlf-router");
+}
+
+TEST(CiscoParserTest, MatchMultiplePrefixListsIsDisjunction) {
+  auto config = Parse(
+      "route-map RM permit 10\n"
+      " match ip address prefix-list A B C\n");
+  const ir::RouteMap* map = config.FindRouteMap("RM");
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->clauses[0].matches[0].names,
+            (std::vector<std::string>{"A", "B", "C"}));
+}
+
+
+TEST(CiscoParserTest, StandardNumberedAcl) {
+  auto config = Parse(
+      "access-list 10 permit 10.1.0.0 0.0.255.255\n"
+      "access-list 10 deny any\n");
+  const ir::Acl* acl = config.FindAcl("10");
+  ASSERT_NE(acl, nullptr);
+  ASSERT_EQ(acl->lines.size(), 2u);
+  // Source-only matching; protocol and destination are wildcards.
+  EXPECT_EQ(acl->lines[0].src.address(), Ipv4Address(10, 1, 0, 0));
+  EXPECT_TRUE(acl->lines[0].dst.IsAny());
+  EXPECT_FALSE(acl->lines[0].protocol.has_value());
+  EXPECT_TRUE(acl->lines[1].src.IsAny());
+  EXPECT_EQ(acl->lines[1].action, ir::LineAction::kDeny);
+}
+
+TEST(CiscoParserTest, StandardNamedAcl) {
+  auto config = Parse(
+      "ip access-list standard MGMT\n"
+      " permit host 10.0.0.5\n"
+      " deny any\n");
+  const ir::Acl* acl = config.FindAcl("MGMT");
+  ASSERT_NE(acl, nullptr);
+  ASSERT_EQ(acl->lines.size(), 2u);
+  EXPECT_EQ(acl->lines[0].src.wildcard_bits(), 0u);
+  EXPECT_EQ(acl->lines[0].src.address(), Ipv4Address(10, 0, 0, 5));
+}
+
+TEST(CiscoParserTest, StandardAndExtendedNumberRanges) {
+  auto config = Parse(
+      "access-list 99 permit 10.0.0.0 0.255.255.255\n"
+      "access-list 1300 permit 10.0.0.0 0.255.255.255\n"
+      "access-list 101 permit tcp any any eq 80\n");
+  ASSERT_NE(config.FindAcl("99"), nullptr);
+  EXPECT_FALSE(config.FindAcl("99")->lines[0].protocol.has_value());
+  ASSERT_NE(config.FindAcl("1300"), nullptr);
+  ASSERT_NE(config.FindAcl("101"), nullptr);
+  EXPECT_EQ(config.FindAcl("101")->lines[0].protocol, ir::kProtoTcp);
+}
+
+}  // namespace
+}  // namespace campion::cisco

@@ -1,0 +1,157 @@
+#include "core/ddnf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+namespace campion::core {
+namespace {
+
+using util::Ipv4Address;
+using util::Prefix;
+using util::PrefixRange;
+
+PrefixRange Range(const char* prefix, int low, int high) {
+  return PrefixRange(*Prefix::Parse(prefix), low, high);
+}
+
+TEST(PrefixRangeDagTest, EmptyInputHasOnlyRoot) {
+  PrefixRangeDag dag({});
+  EXPECT_EQ(dag.size(), 1u);
+  EXPECT_EQ(dag.label(dag.root()), PrefixRange::Universe());
+  EXPECT_TRUE(dag.IsLeaf(dag.root()));
+}
+
+TEST(PrefixRangeDagTest, RootReachesAllNodes) {
+  PrefixRangeDag dag({Range("10.9.0.0/16", 16, 32),
+                      Range("10.100.0.0/16", 16, 32),
+                      Range("10.9.0.0/16", 16, 16)});
+  // BFS from root must reach every node (invariant 1).
+  std::set<std::size_t> reached{dag.root()};
+  std::vector<std::size_t> frontier{dag.root()};
+  while (!frontier.empty()) {
+    std::size_t node = frontier.back();
+    frontier.pop_back();
+    for (std::size_t child : dag.children(node)) {
+      if (reached.insert(child).second) frontier.push_back(child);
+    }
+  }
+  EXPECT_EQ(reached.size(), dag.size());
+}
+
+TEST(PrefixRangeDagTest, LabelsAreUnique) {
+  PrefixRangeDag dag({Range("10.9.0.0/16", 16, 32),
+                      Range("10.9.0.0/16", 16, 32),  // Duplicate.
+                      Range("10.9.0.0/16", 0, 32)});  // Same after clamping.
+  std::set<PrefixRange> labels(dag.labels().begin(), dag.labels().end());
+  EXPECT_EQ(labels.size(), dag.size());
+}
+
+TEST(PrefixRangeDagTest, EdgesAreStrictImmediateContainment) {
+  PrefixRangeDag dag({Range("10.0.0.0/8", 8, 32), Range("10.9.0.0/16", 16, 32),
+                      Range("10.9.0.0/16", 16, 16)});
+  for (std::size_t m = 0; m < dag.size(); ++m) {
+    for (std::size_t n : dag.children(m)) {
+      // Strict containment (invariant 4).
+      EXPECT_TRUE(dag.label(m).ContainsRange(dag.label(n)));
+      EXPECT_NE(dag.label(m), dag.label(n));
+      // No intermediate node between m and n.
+      for (std::size_t k = 0; k < dag.size(); ++k) {
+        if (k == m || k == n) continue;
+        bool between = dag.label(m).ContainsRange(dag.label(k)) &&
+                       dag.label(m) != dag.label(k) &&
+                       dag.label(k).ContainsRange(dag.label(n)) &&
+                       dag.label(k) != dag.label(n);
+        EXPECT_FALSE(between)
+            << dag.label(k).ToString() << " sits between "
+            << dag.label(m).ToString() << " and " << dag.label(n).ToString();
+      }
+    }
+  }
+}
+
+TEST(PrefixRangeDagTest, ClosedUnderIntersection) {
+  PrefixRangeDag dag({Range("10.0.0.0/8", 8, 20), Range("10.9.0.0/16", 16, 32),
+                      Range("0.0.0.0/0", 24, 24)});
+  std::set<PrefixRange> labels(dag.labels().begin(), dag.labels().end());
+  for (const auto& a : labels) {
+    for (const auto& b : labels) {
+      auto meet = a.Intersect(b);
+      if (meet) {
+        EXPECT_TRUE(labels.contains(*meet))
+            << a.ToString() << " ^ " << b.ToString() << " = "
+            << meet->ToString() << " missing";
+      }
+    }
+  }
+}
+
+TEST(PrefixRangeDagTest, MultipleParents) {
+  // E = (10.16/12, 24-32) is contained in both B = (10.16/12, 12-32) and
+  // C = (10/8, 24-32), which are incomparable — a true DAG, not a tree.
+  PrefixRangeDag dag({Range("10.16.0.0/12", 12, 32), Range("10.0.0.0/8", 24, 32),
+                      Range("10.16.0.0/12", 24, 32)});
+  PrefixRange e = Range("10.16.0.0/12", 24, 32);
+  int parent_count = 0;
+  for (std::size_t m = 0; m < dag.size(); ++m) {
+    for (std::size_t n : dag.children(m)) {
+      if (dag.label(n) == e) ++parent_count;
+    }
+  }
+  EXPECT_EQ(parent_count, 2);
+}
+
+TEST(PrefixRangeDagTest, EmptyRangesDropped) {
+  PrefixRangeDag dag({Range("10.9.0.0/16", 4, 8)});  // Infeasible window.
+  EXPECT_EQ(dag.size(), 1u);  // Root only.
+}
+
+TEST(PrefixRangeDagTest, CustomUniverseClipsRanges) {
+  // An address universe of /32s (ACL localization): length windows clamp.
+  PrefixRange universe = Range("0.0.0.0/0", 32, 32);
+  PrefixRangeDag dag({Range("10.9.0.0/16", 16, 32)}, universe);
+  ASSERT_EQ(dag.size(), 2u);
+  EXPECT_EQ(dag.label(1), Range("10.9.0.0/16", 32, 32));
+}
+
+TEST(PrefixRangeDagTest, UniverseInInputIsNotDuplicated) {
+  PrefixRangeDag dag({PrefixRange::Universe(), Range("10.0.0.0/8", 8, 32)});
+  EXPECT_EQ(dag.size(), 2u);
+}
+
+
+TEST(PrefixRangeDagTest, InsertionOrderIndependent) {
+  // The DAG is canonical: any permutation of the input ranges yields the
+  // same label set and the same edge relation.
+  std::vector<PrefixRange> ranges = {
+      Range("10.0.0.0/8", 8, 32),   Range("10.9.0.0/16", 16, 32),
+      Range("10.9.0.0/16", 16, 16), Range("0.0.0.0/0", 24, 24),
+      Range("10.16.0.0/12", 12, 32), Range("10.16.0.0/12", 24, 32)};
+  auto edge_set = [](const PrefixRangeDag& dag) {
+    std::set<std::pair<PrefixRange, PrefixRange>> edges;
+    for (std::size_t m = 0; m < dag.size(); ++m) {
+      for (std::size_t n : dag.children(m)) {
+        edges.insert({dag.label(m), dag.label(n)});
+      }
+    }
+    return edges;
+  };
+  PrefixRangeDag reference(ranges);
+  std::set<PrefixRange> reference_labels(reference.labels().begin(),
+                                         reference.labels().end());
+  auto reference_edges = edge_set(reference);
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(ranges.begin(), ranges.end(), rng);
+    PrefixRangeDag shuffled(ranges);
+    std::set<PrefixRange> labels(shuffled.labels().begin(),
+                                 shuffled.labels().end());
+    EXPECT_EQ(labels, reference_labels);
+    EXPECT_EQ(edge_set(shuffled), reference_edges);
+  }
+}
+
+}  // namespace
+}  // namespace campion::core

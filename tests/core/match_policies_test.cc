@@ -1,0 +1,143 @@
+#include "core/match_policies.h"
+
+#include <gtest/gtest.h>
+
+namespace campion::core {
+namespace {
+
+using util::Ipv4Address;
+
+ir::BgpNeighbor Neighbor(const char* ip, const char* import_policy,
+                         const char* export_policy) {
+  ir::BgpNeighbor n;
+  n.ip = *Ipv4Address::Parse(ip);
+  n.remote_as = 65001;
+  n.import_policy = import_policy;
+  n.export_policy = export_policy;
+  return n;
+}
+
+ir::Interface Iface(const char* name, const char* address, int length) {
+  ir::Interface iface;
+  iface.name = name;
+  iface.address = *Ipv4Address::Parse(address);
+  iface.prefix_length = length;
+  return iface;
+}
+
+TEST(MatchPoliciesTest, PairsPoliciesByNeighborIp) {
+  ir::RouterConfig a, b;
+  a.hostname = "a";
+  b.hostname = "b";
+  a.bgp.emplace();
+  b.bgp.emplace();
+  a.bgp->neighbors = {Neighbor("10.0.0.2", "IMP-A", "EXP-A")};
+  b.bgp->neighbors = {Neighbor("10.0.0.2", "IMP-B", "EXP-B")};
+  PolicyPairing pairing = MatchPolicies(a, b);
+  ASSERT_EQ(pairing.route_maps.size(), 2u);
+  EXPECT_EQ(pairing.route_maps[0].direction, PolicyDirection::kImport);
+  EXPECT_EQ(pairing.route_maps[0].name1, "IMP-A");
+  EXPECT_EQ(pairing.route_maps[0].name2, "IMP-B");
+  EXPECT_EQ(pairing.route_maps[1].direction, PolicyDirection::kExport);
+  EXPECT_TRUE(pairing.unmatched.empty());
+}
+
+TEST(MatchPoliciesTest, AbsentPolicyOnOneSideStillPairs) {
+  ir::RouterConfig a, b;
+  a.bgp.emplace();
+  b.bgp.emplace();
+  a.bgp->neighbors = {Neighbor("10.0.0.2", "IMP-A", "")};
+  b.bgp->neighbors = {Neighbor("10.0.0.2", "", "")};
+  PolicyPairing pairing = MatchPolicies(a, b);
+  ASSERT_EQ(pairing.route_maps.size(), 1u);
+  EXPECT_EQ(pairing.route_maps[0].name1, "IMP-A");
+  EXPECT_EQ(pairing.route_maps[0].name2, "");
+}
+
+TEST(MatchPoliciesTest, UnmatchedNeighborsReported) {
+  ir::RouterConfig a, b;
+  a.hostname = "left";
+  b.hostname = "right";
+  a.bgp.emplace();
+  b.bgp.emplace();
+  a.bgp->neighbors = {Neighbor("10.0.0.2", "", "")};
+  b.bgp->neighbors = {Neighbor("10.0.0.6", "", "")};
+  PolicyPairing pairing = MatchPolicies(a, b);
+  EXPECT_TRUE(pairing.route_maps.empty());
+  ASSERT_EQ(pairing.unmatched.size(), 2u);
+  EXPECT_NE(pairing.unmatched[0].find("10.0.0.2"), std::string::npos);
+  EXPECT_NE(pairing.unmatched[0].find("left"), std::string::npos);
+  EXPECT_NE(pairing.unmatched[1].find("10.0.0.6"), std::string::npos);
+}
+
+TEST(MatchPoliciesTest, AclsPairByName) {
+  ir::RouterConfig a, b;
+  a.hostname = "a";
+  b.hostname = "b";
+  a.acls["SHARED"] = {};
+  a.acls["ONLY-A"] = {};
+  b.acls["SHARED"] = {};
+  PolicyPairing pairing = MatchPolicies(a, b);
+  ASSERT_EQ(pairing.acls.size(), 1u);
+  EXPECT_EQ(pairing.acls[0].name, "SHARED");
+  ASSERT_EQ(pairing.unmatched.size(), 1u);
+  EXPECT_NE(pairing.unmatched[0].find("ONLY-A"), std::string::npos);
+}
+
+TEST(MatchPoliciesTest, InterfacesPairByNameFirst) {
+  ir::RouterConfig a, b;
+  a.interfaces = {Iface("Ethernet1", "10.0.1.1", 24)};
+  b.interfaces = {Iface("Ethernet1", "10.99.1.1", 24)};
+  PolicyPairing pairing = MatchPolicies(a, b);
+  ASSERT_EQ(pairing.interfaces.size(), 1u);
+  EXPECT_EQ(pairing.interfaces[0],
+            (std::pair<std::string, std::string>{"Ethernet1", "Ethernet1"}));
+}
+
+TEST(MatchPoliciesTest, InterfacesPairBySharedSubnet) {
+  // Cross-vendor backups: names differ, subnet matches.
+  ir::RouterConfig a, b;
+  a.interfaces = {Iface("Ethernet1", "10.0.1.1", 24)};
+  b.interfaces = {Iface("xe-0/0/0.0", "10.0.1.2", 24)};
+  PolicyPairing pairing = MatchPolicies(a, b);
+  ASSERT_EQ(pairing.interfaces.size(), 1u);
+  EXPECT_EQ(pairing.interfaces[0].first, "Ethernet1");
+  EXPECT_EQ(pairing.interfaces[0].second, "xe-0/0/0.0");
+  EXPECT_TRUE(pairing.unmatched.empty());
+}
+
+TEST(MatchPoliciesTest, UnmatchableInterfaceReported) {
+  ir::RouterConfig a, b;
+  a.hostname = "a";
+  b.hostname = "b";
+  a.interfaces = {Iface("Ethernet1", "10.0.1.1", 24)};
+  b.interfaces = {Iface("xe-0/0/0.0", "10.0.9.2", 24)};
+  PolicyPairing pairing = MatchPolicies(a, b);
+  EXPECT_TRUE(pairing.interfaces.empty());
+  EXPECT_EQ(pairing.unmatched.size(), 2u);
+}
+
+TEST(MatchPoliciesTest, RedistributionsPairBySourceProtocol) {
+  ir::RouterConfig a, b;
+  a.ospf.emplace();
+  b.ospf.emplace();
+  a.ospf->redistributions.push_back({ir::Protocol::kStatic, "RM-A", {}});
+  b.ospf->redistributions.push_back({ir::Protocol::kStatic, "RM-B", {}});
+  b.ospf->redistributions.push_back({ir::Protocol::kConnected, "RM-C", {}});
+  PolicyPairing pairing = MatchPolicies(a, b);
+  ASSERT_EQ(pairing.redistributions.size(), 1u);
+  EXPECT_EQ(pairing.redistributions[0].from, ir::Protocol::kStatic);
+  EXPECT_EQ(pairing.redistributions[0].name1, "RM-A");
+  EXPECT_EQ(pairing.redistributions[0].name2, "RM-B");
+}
+
+TEST(MatchPoliciesTest, NoBgpMeansNoRouteMapPairs) {
+  ir::RouterConfig a, b;
+  a.bgp.emplace();
+  a.bgp->neighbors = {Neighbor("10.0.0.2", "IMP", "EXP")};
+  PolicyPairing pairing = MatchPolicies(a, b);
+  EXPECT_TRUE(pairing.route_maps.empty());
+}
+
+}  // namespace
+}  // namespace campion::core

@@ -1,0 +1,104 @@
+#include "core/route_action.h"
+
+#include <gtest/gtest.h>
+
+namespace campion::core {
+namespace {
+
+using util::Community;
+
+ir::RouteMapSet Set(ir::RouteMapSet::Kind kind, std::uint32_t value = 0,
+                    std::vector<Community> communities = {}) {
+  ir::RouteMapSet s;
+  s.kind = kind;
+  s.value = value;
+  s.communities = std::move(communities);
+  return s;
+}
+
+TEST(RouteActionTest, RejectIgnoresSets) {
+  std::vector<ir::RouteMapSet> sets = {
+      Set(ir::RouteMapSet::Kind::kLocalPreference, 200)};
+  RouteAction reject = RouteAction::FromPath(false, sets);
+  EXPECT_FALSE(reject.accept);
+  EXPECT_FALSE(reject.local_pref.has_value());
+  EXPECT_EQ(reject, RouteAction::FromPath(false, {}));
+  EXPECT_EQ(reject.ToString(), "REJECT");
+}
+
+TEST(RouteActionTest, PlainAccept) {
+  RouteAction accept = RouteAction::FromPath(true, {});
+  EXPECT_TRUE(accept.accept);
+  EXPECT_EQ(accept.ToString(), "ACCEPT");
+}
+
+TEST(RouteActionTest, LaterSetOverridesEarlier) {
+  std::vector<ir::RouteMapSet> sets = {
+      Set(ir::RouteMapSet::Kind::kLocalPreference, 100),
+      Set(ir::RouteMapSet::Kind::kLocalPreference, 30)};
+  RouteAction action = RouteAction::FromPath(true, sets);
+  EXPECT_EQ(action.local_pref, 30u);
+}
+
+TEST(RouteActionTest, CommunityReplaceClearsAdds) {
+  std::vector<ir::RouteMapSet> sets = {
+      Set(ir::RouteMapSet::Kind::kCommunityAdd, 0, {Community(1, 1)}),
+      Set(ir::RouteMapSet::Kind::kCommunitySet, 0, {Community(2, 2)})};
+  RouteAction action = RouteAction::FromPath(true, sets);
+  EXPECT_TRUE(action.communities_replaced);
+  EXPECT_EQ(action.communities_added,
+            (std::set<Community>{Community(2, 2)}));
+}
+
+TEST(RouteActionTest, AddThenDeleteCancels) {
+  std::vector<ir::RouteMapSet> sets = {
+      Set(ir::RouteMapSet::Kind::kCommunityAdd, 0, {Community(1, 1)}),
+      Set(ir::RouteMapSet::Kind::kCommunityDelete, 0, {Community(1, 1)})};
+  RouteAction action = RouteAction::FromPath(true, sets);
+  EXPECT_TRUE(action.communities_added.empty());
+  EXPECT_EQ(action.communities_removed,
+            (std::set<Community>{Community(1, 1)}));
+}
+
+TEST(RouteActionTest, DeleteThenAddCancels) {
+  std::vector<ir::RouteMapSet> sets = {
+      Set(ir::RouteMapSet::Kind::kCommunityDelete, 0, {Community(1, 1)}),
+      Set(ir::RouteMapSet::Kind::kCommunityAdd, 0, {Community(1, 1)})};
+  RouteAction action = RouteAction::FromPath(true, sets);
+  EXPECT_TRUE(action.communities_removed.empty());
+  EXPECT_EQ(action.communities_added,
+            (std::set<Community>{Community(1, 1)}));
+}
+
+TEST(RouteActionTest, EqualityDistinguishesAttributeValues) {
+  std::vector<ir::RouteMapSet> a = {
+      Set(ir::RouteMapSet::Kind::kLocalPreference, 200)};
+  std::vector<ir::RouteMapSet> b = {
+      Set(ir::RouteMapSet::Kind::kLocalPreference, 100)};
+  EXPECT_NE(RouteAction::FromPath(true, a), RouteAction::FromPath(true, b));
+  EXPECT_EQ(RouteAction::FromPath(true, a), RouteAction::FromPath(true, a));
+}
+
+TEST(RouteActionTest, AcceptWithSetsDiffersFromPlainAccept) {
+  std::vector<ir::RouteMapSet> sets = {
+      Set(ir::RouteMapSet::Kind::kMetric, 10)};
+  EXPECT_NE(RouteAction::FromPath(true, sets),
+            RouteAction::FromPath(true, {}));
+}
+
+TEST(RouteActionTest, ToStringListsAllUpdates) {
+  std::vector<ir::RouteMapSet> sets = {
+      Set(ir::RouteMapSet::Kind::kLocalPreference, 30),
+      Set(ir::RouteMapSet::Kind::kMetric, 50),
+      Set(ir::RouteMapSet::Kind::kTag, 7),
+      Set(ir::RouteMapSet::Kind::kCommunityAdd, 0, {Community(10, 10)})};
+  std::string text = RouteAction::FromPath(true, sets).ToString();
+  EXPECT_NE(text.find("SET LOCAL PREF 30"), std::string::npos);
+  EXPECT_NE(text.find("SET METRIC 50"), std::string::npos);
+  EXPECT_NE(text.find("SET TAG 7"), std::string::npos);
+  EXPECT_NE(text.find("ADD COMMUNITIES 10:10"), std::string::npos);
+  EXPECT_NE(text.find("ACCEPT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace campion::core

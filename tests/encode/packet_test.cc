@@ -1,0 +1,151 @@
+#include "encode/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace campion::encode {
+namespace {
+
+using bdd::BddManager;
+using bdd::BddRef;
+using util::Ipv4Address;
+using util::IpWildcard;
+using util::Prefix;
+
+class PacketTest : public ::testing::Test {
+ protected:
+  PacketTest() : layout_(mgr_) {}
+
+  // The exact predicate of a concrete packet.
+  BddRef Exact(const PacketExample& p) {
+    BddRef f = mgr_.True();
+    f = mgr_.And(f, layout_.MatchSrc(IpWildcard(p.src_ip)));
+    f = mgr_.And(f, layout_.MatchDst(IpWildcard(p.dst_ip)));
+    f = mgr_.And(f, layout_.ProtocolIs(p.protocol));
+    f = mgr_.And(f, layout_.SrcPortIn({p.src_port, p.src_port}));
+    f = mgr_.And(f, layout_.DstPortIn({p.dst_port, p.dst_port}));
+    f = mgr_.And(f, layout_.IcmpTypeIs(p.icmp_type));
+    return f;
+  }
+
+  bool Matches(const ir::AclLine& line, const PacketExample& p) {
+    return mgr_.Intersects(layout_.MatchLine(line), Exact(p));
+  }
+
+  BddManager mgr_;
+  PacketLayout layout_;
+};
+
+PacketExample Tcp(const char* src, const char* dst, std::uint16_t dport) {
+  PacketExample p;
+  p.src_ip = *Ipv4Address::Parse(src);
+  p.dst_ip = *Ipv4Address::Parse(dst);
+  p.protocol = ir::kProtoTcp;
+  p.src_port = 32768;
+  p.dst_port = dport;
+  return p;
+}
+
+TEST_F(PacketTest, MatchLineFullTuple) {
+  ir::AclLine line;
+  line.action = ir::LineAction::kPermit;
+  line.protocol = ir::kProtoTcp;
+  line.src = IpWildcard(*Prefix::Parse("10.1.0.0/16"));
+  line.dst = IpWildcard(*Prefix::Parse("10.2.0.0/16"));
+  line.dst_ports.push_back({443, 443});
+
+  EXPECT_TRUE(Matches(line, Tcp("10.1.5.5", "10.2.1.1", 443)));
+  EXPECT_FALSE(Matches(line, Tcp("10.3.5.5", "10.2.1.1", 443)));  // src
+  EXPECT_FALSE(Matches(line, Tcp("10.1.5.5", "10.9.1.1", 443)));  // dst
+  EXPECT_FALSE(Matches(line, Tcp("10.1.5.5", "10.2.1.1", 80)));   // port
+  PacketExample udp = Tcp("10.1.5.5", "10.2.1.1", 443);
+  udp.protocol = ir::kProtoUdp;
+  EXPECT_FALSE(Matches(line, udp));  // protocol
+}
+
+TEST_F(PacketTest, AnyProtocolLineMatchesAll) {
+  ir::AclLine line;  // protocol nullopt = "ip", src/dst any.
+  EXPECT_TRUE(Matches(line, Tcp("1.2.3.4", "5.6.7.8", 80)));
+  PacketExample icmp;
+  icmp.protocol = ir::kProtoIcmp;
+  icmp.icmp_type = 8;
+  EXPECT_TRUE(Matches(line, icmp));
+}
+
+TEST_F(PacketTest, PortDisjunction) {
+  ir::AclLine line;
+  line.protocol = ir::kProtoTcp;
+  line.dst_ports.push_back({80, 80});
+  line.dst_ports.push_back({443, 443});
+  EXPECT_TRUE(Matches(line, Tcp("1.1.1.1", "2.2.2.2", 80)));
+  EXPECT_TRUE(Matches(line, Tcp("1.1.1.1", "2.2.2.2", 443)));
+  EXPECT_FALSE(Matches(line, Tcp("1.1.1.1", "2.2.2.2", 8080)));
+}
+
+TEST_F(PacketTest, PortRange) {
+  ir::AclLine line;
+  line.protocol = ir::kProtoUdp;
+  line.dst_ports.push_back({1024, 65535});
+  PacketExample p = Tcp("1.1.1.1", "2.2.2.2", 1024);
+  p.protocol = ir::kProtoUdp;
+  EXPECT_TRUE(Matches(line, p));
+  p.dst_port = 1023;
+  EXPECT_FALSE(Matches(line, p));
+  p.dst_port = 65535;
+  EXPECT_TRUE(Matches(line, p));
+}
+
+TEST_F(PacketTest, IcmpTypeMatch) {
+  ir::AclLine line;
+  line.protocol = ir::kProtoIcmp;
+  line.icmp_type = 8;
+  PacketExample echo;
+  echo.protocol = ir::kProtoIcmp;
+  echo.icmp_type = 8;
+  EXPECT_TRUE(Matches(line, echo));
+  echo.icmp_type = 0;
+  EXPECT_FALSE(Matches(line, echo));
+}
+
+TEST_F(PacketTest, NonContiguousWildcardLine) {
+  ir::AclLine line;
+  line.src = IpWildcard(Ipv4Address(9, 140, 0, 0), 0x00000100u);
+  PacketExample p;
+  p.src_ip = Ipv4Address(9, 140, 1, 0);
+  EXPECT_TRUE(Matches(line, p));
+  p.src_ip = Ipv4Address(9, 140, 2, 0);
+  EXPECT_FALSE(Matches(line, p));
+}
+
+TEST_F(PacketTest, DecodeRoundTrip) {
+  PacketExample p = Tcp("10.1.5.5", "10.2.1.1", 443);
+  p.src_port = 55555;
+  auto cube = mgr_.AnySat(Exact(p));
+  ASSERT_TRUE(cube.has_value());
+  PacketExample decoded = layout_.Decode(*cube);
+  EXPECT_EQ(decoded.src_ip, p.src_ip);
+  EXPECT_EQ(decoded.dst_ip, p.dst_ip);
+  EXPECT_EQ(decoded.protocol, p.protocol);
+  EXPECT_EQ(decoded.src_port, p.src_port);
+  EXPECT_EQ(decoded.dst_port, p.dst_port);
+}
+
+TEST_F(PacketTest, DstProjectionMask) {
+  BddRef set = mgr_.And(layout_.MatchDstPrefix(*Prefix::Parse("10.2.0.0/16")),
+                        layout_.ProtocolIs(ir::kProtoTcp));
+  BddRef projected = mgr_.Exists(set, layout_.NonDstIpVarMask());
+  EXPECT_EQ(projected, layout_.MatchDstPrefix(*Prefix::Parse("10.2.0.0/16")));
+}
+
+TEST_F(PacketTest, ExampleToStringShowsPortsOnlyForTcpUdp) {
+  PacketExample tcp = Tcp("1.1.1.1", "2.2.2.2", 80);
+  EXPECT_NE(tcp.ToString().find("dstPort: 80"), std::string::npos);
+  PacketExample icmp;
+  icmp.protocol = ir::kProtoIcmp;
+  icmp.icmp_type = 3;
+  std::string text = icmp.ToString();
+  EXPECT_EQ(text.find("dstPort"), std::string::npos);
+  EXPECT_NE(text.find("icmpType: 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace campion::encode

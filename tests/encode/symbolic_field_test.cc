@@ -1,0 +1,110 @@
+#include "encode/symbolic_field.h"
+
+#include <gtest/gtest.h>
+
+namespace campion::encode {
+namespace {
+
+using bdd::BddManager;
+using bdd::BddRef;
+
+class SymbolicFieldTest : public ::testing::Test {
+ protected:
+  SymbolicFieldTest() : mgr_(8), field_(0, 8) {}
+
+  // Evaluates f on the assignment where the field carries `value`.
+  bool Eval(BddRef f, std::uint32_t value) {
+    BddRef point = field_.EqualsConst(mgr_, value);
+    return mgr_.Intersects(point, f);
+  }
+
+  BddManager mgr_;
+  SymbolicField field_;
+};
+
+TEST_F(SymbolicFieldTest, EqualsConst) {
+  BddRef f = field_.EqualsConst(mgr_, 42);
+  for (std::uint32_t v = 0; v < 256; ++v) {
+    EXPECT_EQ(Eval(f, v), v == 42) << v;
+  }
+}
+
+TEST_F(SymbolicFieldTest, LeqExhaustive) {
+  for (std::uint32_t bound : {0u, 1u, 7u, 128u, 254u, 255u}) {
+    BddRef f = field_.Leq(mgr_, bound);
+    for (std::uint32_t v = 0; v < 256; ++v) {
+      EXPECT_EQ(Eval(f, v), v <= bound) << "bound=" << bound << " v=" << v;
+    }
+  }
+}
+
+TEST_F(SymbolicFieldTest, GeqExhaustive) {
+  for (std::uint32_t bound : {0u, 1u, 100u, 255u}) {
+    BddRef f = field_.Geq(mgr_, bound);
+    for (std::uint32_t v = 0; v < 256; ++v) {
+      EXPECT_EQ(Eval(f, v), v >= bound) << "bound=" << bound << " v=" << v;
+    }
+  }
+}
+
+TEST_F(SymbolicFieldTest, InRangeExhaustive) {
+  BddRef f = field_.InRange(mgr_, 16, 32);
+  for (std::uint32_t v = 0; v < 256; ++v) {
+    EXPECT_EQ(Eval(f, v), v >= 16 && v <= 32) << v;
+  }
+}
+
+TEST_F(SymbolicFieldTest, InRangeEmptyWhenInverted) {
+  EXPECT_EQ(field_.InRange(mgr_, 32, 16), mgr_.False());
+}
+
+TEST_F(SymbolicFieldTest, InRangeFullWidth) {
+  EXPECT_EQ(field_.InRange(mgr_, 0, 255), mgr_.True());
+}
+
+TEST_F(SymbolicFieldTest, MatchPrefixBits) {
+  // Top 4 bits equal to 0b1010 (value 0xA0 left-aligned).
+  BddRef f = field_.MatchPrefixBits(mgr_, 0xA0, 4);
+  for (std::uint32_t v = 0; v < 256; ++v) {
+    EXPECT_EQ(Eval(f, v), (v >> 4) == 0xA) << v;
+  }
+}
+
+TEST_F(SymbolicFieldTest, MatchPrefixBitsZeroLengthIsTrue) {
+  EXPECT_EQ(field_.MatchPrefixBits(mgr_, 0xFF, 0), mgr_.True());
+}
+
+TEST_F(SymbolicFieldTest, MatchMaskedWildcard) {
+  // Care only about bits 0 and 7 (MSB and LSB): value 0x81.
+  BddRef f = field_.MatchMasked(mgr_, 0x81, 0x81);
+  for (std::uint32_t v = 0; v < 256; ++v) {
+    EXPECT_EQ(Eval(f, v), (v & 0x81) == 0x81) << v;
+  }
+}
+
+TEST_F(SymbolicFieldTest, DecodeReadsCube) {
+  BddRef f = field_.EqualsConst(mgr_, 0xC3);
+  auto cube = mgr_.AnySat(f);
+  ASSERT_TRUE(cube.has_value());
+  EXPECT_EQ(field_.Decode(*cube), 0xC3u);
+}
+
+TEST_F(SymbolicFieldTest, DecodeDontCaresAsZero) {
+  bdd::Cube cube(8, -1);
+  cube[0] = 1;  // MSB set, everything else don't-care.
+  EXPECT_EQ(field_.Decode(cube), 0x80u);
+}
+
+TEST(SymbolicFieldOffsetTest, FieldsAtNonZeroOffset) {
+  BddManager mgr(20);
+  SymbolicField a(4, 8);
+  SymbolicField b(12, 8);
+  BddRef f = mgr.And(a.EqualsConst(mgr, 7), b.EqualsConst(mgr, 200));
+  auto cube = mgr.AnySat(f);
+  ASSERT_TRUE(cube.has_value());
+  EXPECT_EQ(a.Decode(*cube), 7u);
+  EXPECT_EQ(b.Decode(*cube), 200u);
+}
+
+}  // namespace
+}  // namespace campion::encode

@@ -1,0 +1,64 @@
+#include "frontend/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testdata.h"
+
+namespace campion::frontend {
+namespace {
+
+TEST(DetectVendorTest, DetectsCisco) {
+  EXPECT_EQ(DetectVendor(testing::kFig1Cisco), ir::Vendor::kCisco);
+  EXPECT_EQ(DetectVendor("hostname foo\nip route 0.0.0.0 0.0.0.0 Null0\n"),
+            ir::Vendor::kCisco);
+}
+
+TEST(DetectVendorTest, DetectsJuniper) {
+  EXPECT_EQ(DetectVendor(testing::kFig1Juniper), ir::Vendor::kJuniper);
+  EXPECT_EQ(DetectVendor("system {\n    host-name foo;\n}\n"),
+            ir::Vendor::kJuniper);
+}
+
+TEST(DetectVendorTest, UnknownForEmptyOrGarbage) {
+  EXPECT_EQ(DetectVendor(""), ir::Vendor::kUnknown);
+  EXPECT_EQ(DetectVendor("once upon a time"), ir::Vendor::kUnknown);
+}
+
+TEST(LoadConfigTest, AutoDetectParsesBoth) {
+  LoadResult cisco = LoadConfig(testing::kFig1Cisco, "c.cfg");
+  EXPECT_EQ(cisco.config.vendor, ir::Vendor::kCisco);
+  EXPECT_EQ(cisco.config.hostname, "cisco_router");
+  LoadResult juniper = LoadConfig(testing::kFig1Juniper, "j.conf");
+  EXPECT_EQ(juniper.config.vendor, ir::Vendor::kJuniper);
+  EXPECT_EQ(juniper.config.hostname, "juniper_router");
+}
+
+TEST(LoadConfigTest, ExplicitVendorOverridesDetection) {
+  // Force Cisco parsing on Juniper text: parses with diagnostics rather
+  // than throwing.
+  LoadResult result =
+      LoadConfig(testing::kFig1Juniper, "j.conf", ir::Vendor::kCisco);
+  EXPECT_EQ(result.config.vendor, ir::Vendor::kCisco);
+  EXPECT_FALSE(result.diagnostics.empty());
+}
+
+TEST(LoadConfigTest, ThrowsWhenUndetectable) {
+  EXPECT_THROW(LoadConfig("gibberish", "x"), std::runtime_error);
+}
+
+TEST(LoadConfigFileTest, ThrowsOnMissingFile) {
+  EXPECT_THROW(LoadConfigFile("/no/such/file.cfg"), std::runtime_error);
+}
+
+TEST(LoadConfigFileTest, LoadsExampleConfigs) {
+  // The checked-in example configs, when present relative to the repo root.
+  try {
+    LoadResult result = LoadConfigFile("examples/configs/fig1_cisco.cfg");
+    EXPECT_EQ(result.config.hostname, "cisco_router");
+  } catch (const std::runtime_error&) {
+    GTEST_SKIP() << "example configs not reachable from test cwd";
+  }
+}
+
+}  // namespace
+}  // namespace campion::frontend

@@ -1,0 +1,125 @@
+// Robustness: both parsers must survive arbitrary, malformed, truncated,
+// and adversarial inputs without crashing — collecting diagnostics instead
+// — because Campion's first contact with any network is a pile of config
+// files of uneven quality.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cisco/cisco_parser.h"
+#include "juniper/juniper_parser.h"
+#include "tests/testdata.h"
+
+namespace campion {
+namespace {
+
+TEST(CiscoRobustnessTest, EmptyAndWhitespaceInputs) {
+  EXPECT_NO_THROW(cisco::ParseCiscoConfig("", "x"));
+  EXPECT_NO_THROW(cisco::ParseCiscoConfig("\n\n\n", "x"));
+  EXPECT_NO_THROW(cisco::ParseCiscoConfig("   \n\t\n", "x"));
+  EXPECT_NO_THROW(cisco::ParseCiscoConfig("!\n!\n!", "x"));
+}
+
+TEST(CiscoRobustnessTest, TruncatedDirectives) {
+  for (const char* text :
+       {"ip", "ip route", "ip route 10.0.0.0", "ip prefix-list",
+        "route-map", "route-map X", "route-map X permit", "router",
+        "router bgp", "interface", "neighbor", "access-list 101",
+        "ip community-list standard", "ip as-path access-list 1"}) {
+    EXPECT_NO_THROW(cisco::ParseCiscoConfig(text, "x")) << text;
+  }
+}
+
+TEST(CiscoRobustnessTest, GarbageValuesDiagnosed) {
+  auto result = cisco::ParseCiscoConfig(
+      "ip route 999.0.0.1 255.0.0.0 10.0.0.1\n"
+      "ip prefix-list P permit 10.0.0.0/99\n"
+      "ip community-list standard C permit 99999999:1\n",
+      "x");
+  EXPECT_EQ(result.diagnostics.size(), 3u);
+  EXPECT_TRUE(result.config.static_routes.empty());
+  EXPECT_TRUE(result.config.prefix_lists.empty());
+}
+
+TEST(CiscoRobustnessTest, RandomLineSoup) {
+  std::mt19937_64 rng(42);
+  const char* words[] = {"ip",    "route",   "permit", "deny", "10.0.0.1",
+                         "match", "set",     "!",      "{",    "}",
+                         "bgp",   "neighbor", "999",    "x/y",  "le"};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string soup;
+    for (int line = 0; line < 30; ++line) {
+      int length = 1 + static_cast<int>(rng() % 6);
+      for (int w = 0; w < length; ++w) {
+        soup += words[rng() % std::size(words)];
+        soup += " ";
+      }
+      soup += "\n";
+    }
+    EXPECT_NO_THROW(cisco::ParseCiscoConfig(soup, "soup"));
+  }
+}
+
+TEST(JuniperRobustnessTest, EmptyAndDegenerateInputs) {
+  EXPECT_NO_THROW(juniper::ParseJuniperConfig("", "x"));
+  EXPECT_NO_THROW(juniper::ParseJuniperConfig("{}", "x"));
+  EXPECT_NO_THROW(juniper::ParseJuniperConfig(";;;;", "x"));
+  EXPECT_NO_THROW(juniper::ParseJuniperConfig("}}}}", "x"));
+  EXPECT_NO_THROW(juniper::ParseJuniperConfig("{{{{", "x"));
+}
+
+TEST(JuniperRobustnessTest, UnbalancedBracesAndStrings) {
+  EXPECT_NO_THROW(juniper::ParseJuniperConfig(
+      "system { host-name foo;\n", "x"));  // Missing closing brace.
+  EXPECT_NO_THROW(juniper::ParseJuniperConfig(
+      "system { host-name \"unterminated\n}", "x"));
+  EXPECT_NO_THROW(juniper::ParseJuniperConfig(
+      "policy-options { policy-statement P { term t { from {", "x"));
+}
+
+TEST(JuniperRobustnessTest, CommentsEverywhere) {
+  auto result = juniper::ParseJuniperConfig(
+      "/* header */ system { # inline\n host-name /* mid */ ok; }\n"
+      "/* unterminated",
+      "x");
+  EXPECT_EQ(result.config.hostname, "ok");
+}
+
+TEST(JuniperRobustnessTest, RandomTokenSoup) {
+  std::mt19937_64 rng(77);
+  const char* tokens[] = {"{", "}", ";", "term",   "from", "then",
+                          "accept", "reject", "policy-statement",
+                          "10.0.0.0/8", "[", "]", "\"s\"", "#c\n"};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string soup;
+    for (int i = 0; i < 120; ++i) {
+      soup += tokens[rng() % std::size(tokens)];
+      soup += " ";
+    }
+    EXPECT_NO_THROW(juniper::ParseJuniperConfig(soup, "soup"));
+  }
+}
+
+TEST(RobustnessTest, CrossParsing) {
+  // Each parser fed the other vendor's config: diagnostics, not crashes.
+  EXPECT_NO_THROW(cisco::ParseCiscoConfig(testing::kFig1Juniper, "x"));
+  EXPECT_NO_THROW(juniper::ParseJuniperConfig(testing::kFig1Cisco, "x"));
+}
+
+TEST(RobustnessTest, VeryLongSingleLine) {
+  std::string line = "ip prefix-list P permit 10.0.0.0/8";
+  for (int i = 0; i < 5000; ++i) line += " le";
+  line += "\n";
+  EXPECT_NO_THROW(cisco::ParseCiscoConfig(line, "x"));
+}
+
+TEST(RobustnessTest, DeeplyNestedJuniper) {
+  std::string text;
+  for (int i = 0; i < 2000; ++i) text += "a {\n";
+  for (int i = 0; i < 2000; ++i) text += "}\n";
+  EXPECT_NO_THROW(juniper::ParseJuniperConfig(text, "x"));
+}
+
+}  // namespace
+}  // namespace campion

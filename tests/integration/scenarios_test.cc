@@ -1,0 +1,188 @@
+// Validates the synthesized evaluation networks against the paper's
+// ground truth: the data-center scenarios must surface exactly the Table 6
+// difference counts, and the university scenario the Table 8 per-policy
+// counts.
+
+#include <gtest/gtest.h>
+
+#include "core/config_diff.h"
+#include "core/structural_diff.h"
+#include "gen/scenarios.h"
+
+namespace campion {
+namespace {
+
+using core::DifferenceEntry;
+
+TEST(DataCenterScenarioTest, Scenario1MatchesTable6) {
+  gen::DataCenterScenario scenario = gen::BuildDataCenterScenario();
+  int bgp_semantic = 0;
+  int static_structural = 0;
+  int pairs_with_diffs = 0;
+  for (const auto& pair : scenario.redundant_pairs) {
+    core::DiffReport report = core::ConfigDiff(pair.config1, pair.config2);
+    int semantic =
+        report.CountOf(DifferenceEntry::Kind::kRouteMapSemantic);
+    int structural = 0;
+    for (const auto& entry : report.entries) {
+      if (entry.kind == DifferenceEntry::Kind::kStructural &&
+          entry.title.find("Static Route") != std::string::npos) {
+        ++structural;
+      }
+    }
+    bgp_semantic += semantic;
+    static_structural += structural;
+    if (semantic + structural > 0) ++pairs_with_diffs;
+    // Pairs with no injected bug must be clean.
+    if (pair.injected.empty()) {
+      EXPECT_TRUE(report.Equivalent())
+          << pair.label << "\n"
+          << report.Render();
+    }
+  }
+  // Table 6, Scenario 1: 5 semantic BGP differences, 2 structural static
+  // route differences, across 7 distinct buggy pairs.
+  EXPECT_EQ(bgp_semantic, scenario.scenario1_bgp_bugs);
+  EXPECT_EQ(static_structural, scenario.scenario1_static_bugs);
+  EXPECT_EQ(pairs_with_diffs, 7);
+}
+
+TEST(DataCenterScenarioTest, Scenario2MatchesTable6) {
+  gen::DataCenterScenario scenario = gen::BuildDataCenterScenario();
+  ASSERT_EQ(scenario.replacements.size(), 30u);
+  int bgp_semantic = 0;
+  int buggy_pairs = 0;
+  for (const auto& pair : scenario.replacements) {
+    core::DiffReport report = core::ConfigDiff(pair.config1, pair.config2);
+    int semantic =
+        report.CountOf(DifferenceEntry::Kind::kRouteMapSemantic);
+    bgp_semantic += semantic;
+    if (semantic > 0) ++buggy_pairs;
+    if (pair.injected.empty()) {
+      EXPECT_TRUE(report.Equivalent())
+          << pair.label << "\n"
+          << report.Render();
+    } else {
+      EXPECT_GT(semantic, 0) << pair.label;
+    }
+  }
+  // Table 6, Scenario 2: 4 semantic BGP differences across 4 replacements.
+  EXPECT_EQ(bgp_semantic, scenario.scenario2_bgp_bugs);
+  EXPECT_EQ(buggy_pairs, 4);
+}
+
+TEST(DataCenterScenarioTest, Scenario2ReflectorBugIsDetected) {
+  gen::DataCenterScenario scenario = gen::BuildDataCenterScenario();
+  const gen::RouterPair& reflector = scenario.replacements[12];
+  ASSERT_FALSE(reflector.injected.empty());
+  core::DiffReport report =
+      core::ConfigDiff(reflector.config1, reflector.config2);
+  ASSERT_EQ(report.CountOf(DifferenceEntry::Kind::kRouteMapSemantic), 1);
+  // The difference is the local-preference mismatch on the reflector's
+  // export policy to its clients.
+  const DifferenceEntry* semantic = nullptr;
+  for (const auto& entry : report.entries) {
+    if (entry.kind == DifferenceEntry::Kind::kRouteMapSemantic) {
+      semantic = &entry;
+    }
+  }
+  ASSERT_NE(semantic, nullptr);
+  EXPECT_NE(semantic->detail.action1.find("SET LOCAL PREF 200"),
+            std::string::npos);
+  EXPECT_NE(semantic->detail.action2.find("SET LOCAL PREF 100"),
+            std::string::npos);
+}
+
+TEST(DataCenterScenarioTest, Scenario3MatchesTable6) {
+  gen::DataCenterScenario scenario = gen::BuildDataCenterScenario();
+  int acl_semantic_pairs = 0;
+  for (const auto& pair : scenario.gateway_pairs) {
+    core::DiffReport report = core::ConfigDiff(pair.config1, pair.config2);
+    int semantic = report.CountOf(DifferenceEntry::Kind::kAclSemantic);
+    if (pair.injected.empty()) {
+      EXPECT_EQ(semantic, 0) << pair.label << "\n" << report.Render();
+    } else {
+      EXPECT_GT(semantic, 0) << pair.label;
+      ++acl_semantic_pairs;
+    }
+  }
+  // Table 6, Scenario 3: 3 ACL differences (one per gateway pair bugged).
+  EXPECT_EQ(acl_semantic_pairs, scenario.scenario3_acl_bugs);
+}
+
+TEST(UniversityScenarioTest, RouteMapCountsMatchTable8a) {
+  gen::UniversityScenario scenario = gen::BuildUniversityScenario();
+
+  // Core routers.
+  auto export1 =
+      core::DiffRouteMapPair(scenario.core.config1, "EXPORT-1",
+                             scenario.core.config2, "EXPORT-1");
+  EXPECT_EQ(export1.size(), 5u);  // Table 8(a): Export 1 -> 5.
+  auto export2 =
+      core::DiffRouteMapPair(scenario.core.config1, "EXPORT-2",
+                             scenario.core.config2, "EXPORT-2");
+  EXPECT_EQ(export2.size(), 1u);  // Export 2 -> 1.
+  auto import =
+      core::DiffRouteMapPair(scenario.core.config1, "IMPORT-CORE",
+                             scenario.core.config2, "IMPORT-CORE");
+  EXPECT_EQ(import.size(), 0u);  // Import -> 0.
+
+  // Border routers.
+  auto export3 =
+      core::DiffRouteMapPair(scenario.border.config1, "EXPORT-3",
+                             scenario.border.config2, "EXPORT-3");
+  EXPECT_EQ(export3.size(), 1u);
+  auto export4 =
+      core::DiffRouteMapPair(scenario.border.config1, "EXPORT-4",
+                             scenario.border.config2, "EXPORT-4");
+  EXPECT_EQ(export4.size(), 1u);
+  auto export5 =
+      core::DiffRouteMapPair(scenario.border.config1, "EXPORT-5",
+                             scenario.border.config2, "EXPORT-5");
+  EXPECT_EQ(export5.size(), 2u);  // Export 5 -> 2 raw outputs.
+}
+
+TEST(UniversityScenarioTest, StructuralCountsMatchTable8b) {
+  gen::UniversityScenario scenario = gen::BuildUniversityScenario();
+
+  auto statics =
+      core::DiffStaticRoutes(scenario.core.config1, scenario.core.config2);
+  // Two classes: the shared prefix with differing next hops (1 diff) and
+  // the two Cisco-only workaround routes (2 presence diffs).
+  int next_hop_diffs = 0;
+  int presence_diffs = 0;
+  for (const auto& diff : statics) {
+    if (diff.field == "next hop") ++next_hop_diffs;
+    if (diff.field == "presence") ++presence_diffs;
+  }
+  EXPECT_EQ(next_hop_diffs, 1);
+  EXPECT_EQ(presence_diffs, 2);
+
+  auto bgp = core::DiffBgpProperties(scenario.core.config1,
+                                     scenario.core.config2);
+  int send_community_diffs = 0;
+  for (const auto& diff : bgp) {
+    if (diff.field == "send-community") ++send_community_diffs;
+  }
+  // One class of error: the two Cisco iBGP neighbors missing
+  // send-community.
+  EXPECT_EQ(send_community_diffs, 2);
+}
+
+TEST(UniversityScenarioTest, Export1DifferencesIncludeFallThrough) {
+  gen::UniversityScenario scenario = gen::BuildUniversityScenario();
+  auto diffs = core::DiffRouteMapPair(scenario.core.config1, "EXPORT-1",
+                                      scenario.core.config2, "EXPORT-1");
+  bool found_fall_through = false;
+  for (const auto& diff : diffs) {
+    if (diff.text1.find("fall-through") != std::string::npos ||
+        diff.text2.find("fall-through") != std::string::npos) {
+      found_fall_through = true;
+    }
+  }
+  EXPECT_TRUE(found_fall_through)
+      << "expected a difference caused by differing default actions";
+}
+
+}  // namespace
+}  // namespace campion

@@ -1,0 +1,537 @@
+#include "juniper/juniper_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace campion::juniper {
+namespace {
+
+using util::Community;
+using util::Ipv4Address;
+using util::Prefix;
+using util::PrefixRange;
+
+ir::RouterConfig Parse(const std::string& text) {
+  return ParseJuniperConfig(text, "test.conf").config;
+}
+
+TEST(JuniperParserTest, HostnameAndVendor) {
+  auto config = Parse("system { host-name core-j; }\n");
+  EXPECT_EQ(config.hostname, "core-j");
+  EXPECT_EQ(config.vendor, ir::Vendor::kJuniper);
+}
+
+TEST(JuniperParserTest, InterfaceUnits) {
+  auto config = Parse(R"(
+interfaces {
+    xe-0/0/0 {
+        unit 0 {
+            family inet {
+                address 10.0.1.2/24;
+            }
+        }
+        unit 100 {
+            family inet {
+                address 10.0.2.2/31;
+            }
+        }
+    }
+    xe-0/0/1 {
+        disable;
+        unit 0 {
+            family inet {
+                address 10.0.3.2/30;
+            }
+        }
+    }
+}
+)");
+  ASSERT_EQ(config.interfaces.size(), 3u);
+  EXPECT_EQ(config.interfaces[0].name, "xe-0/0/0.0");
+  EXPECT_EQ(config.interfaces[0].address, Ipv4Address(10, 0, 1, 2));
+  EXPECT_EQ(config.interfaces[0].prefix_length, 24);
+  EXPECT_EQ(config.interfaces[0].ConnectedSubnet(),
+            *Prefix::Parse("10.0.1.0/24"));
+  EXPECT_EQ(config.interfaces[1].name, "xe-0/0/0.100");
+  EXPECT_EQ(config.interfaces[1].prefix_length, 31);
+  // disable on the physical interface shuts all units down.
+  EXPECT_TRUE(config.interfaces[2].shutdown);
+}
+
+TEST(JuniperParserTest, StaticRoutesBlockAndInline) {
+  auto config = Parse(R"(
+routing-options {
+    static {
+        route 10.1.1.2/31 {
+            next-hop 10.2.2.2;
+            preference 7;
+            tag 42;
+        }
+        route 0.0.0.0/0 next-hop 10.0.0.1;
+    }
+}
+)");
+  ASSERT_EQ(config.static_routes.size(), 2u);
+  EXPECT_EQ(config.static_routes[0].prefix, *Prefix::Parse("10.1.1.2/31"));
+  EXPECT_EQ(config.static_routes[0].next_hop, Ipv4Address(10, 2, 2, 2));
+  EXPECT_EQ(config.static_routes[0].admin_distance, 7);
+  EXPECT_EQ(config.static_routes[0].tag, 42u);
+  EXPECT_EQ(config.static_routes[1].prefix, *Prefix::Parse("0.0.0.0/0"));
+  EXPECT_EQ(config.static_routes[1].next_hop, Ipv4Address(10, 0, 0, 1));
+  // JunOS default static preference.
+  EXPECT_EQ(config.static_routes[1].admin_distance, 5);
+}
+
+TEST(JuniperParserTest, PrefixListMatchesExactly) {
+  auto config = Parse(R"(
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+}
+)");
+  const ir::PrefixList* list = config.FindPrefixList("NETS");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->entries.size(), 2u);
+  // Exact windows: the crux of the paper's Difference 1.
+  EXPECT_EQ(list->entries[0].range,
+            PrefixRange(*Prefix::Parse("10.9.0.0/16"), 16, 16));
+}
+
+TEST(JuniperParserTest, CommunityMembersAreConjunction) {
+  auto config = Parse(
+      "policy-options { community COMM members [ 10:10 10:11 ]; }\n");
+  const ir::CommunityList* list = config.FindCommunityList("COMM");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->entries.size(), 1u);
+  EXPECT_EQ(list->entries[0].all_of,
+            (std::vector<Community>{Community(10, 10), Community(10, 11)}));
+}
+
+TEST(JuniperParserTest, SingleMemberCommunityWithoutBrackets) {
+  auto config =
+      Parse("policy-options { community ONE members 65000:7; }\n");
+  const ir::CommunityList* list = config.FindCommunityList("ONE");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->entries[0].all_of,
+            std::vector<Community>{Community(65000, 7)});
+}
+
+TEST(JuniperParserTest, PolicyStatementTerms) {
+  auto config = Parse(R"(
+policy-options {
+    prefix-list NETS { 10.9.0.0/16; }
+    community COMM members [ 10:10 ];
+    policy-statement POL {
+        term rule1 {
+            from {
+                prefix-list NETS;
+            }
+            then reject;
+        }
+        term rule2 {
+            from {
+                community COMM;
+            }
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+}
+)");
+  const ir::RouteMap* map = config.FindRouteMap("POL");
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->clauses.size(), 2u);
+  EXPECT_EQ(map->default_action, ir::ClauseAction::kPermit);
+  EXPECT_EQ(map->clauses[0].term_name, "rule1");
+  EXPECT_EQ(map->clauses[0].action, ir::ClauseAction::kDeny);
+  EXPECT_EQ(map->clauses[1].action, ir::ClauseAction::kPermit);
+  ASSERT_EQ(map->clauses[1].sets.size(), 1u);
+  EXPECT_EQ(map->clauses[1].sets[0].kind,
+            ir::RouteMapSet::Kind::kLocalPreference);
+  EXPECT_EQ(map->clauses[1].sets[0].value, 30u);
+}
+
+TEST(JuniperParserTest, TermWithoutTerminatingActionFallsThrough) {
+  auto config = Parse(R"(
+policy-options {
+    policy-statement POL {
+        term set-pref {
+            then {
+                local-preference 200;
+            }
+        }
+        term final {
+            then accept;
+        }
+    }
+}
+)");
+  const ir::RouteMap* map = config.FindRouteMap("POL");
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->clauses[0].action, ir::ClauseAction::kFallThrough);
+  EXPECT_EQ(map->clauses[1].action, ir::ClauseAction::kPermit);
+}
+
+TEST(JuniperParserTest, NextTermIsExplicitFallThrough) {
+  auto config = Parse(R"(
+policy-options {
+    policy-statement POL {
+        term t1 {
+            then {
+                metric 5;
+                next term;
+            }
+        }
+    }
+}
+)");
+  const ir::RouteMap* map = config.FindRouteMap("POL");
+  ASSERT_NE(map, nullptr);
+  EXPECT_EQ(map->clauses[0].action, ir::ClauseAction::kFallThrough);
+}
+
+TEST(JuniperParserTest, RouteFilterModes) {
+  auto config = Parse(R"(
+policy-options {
+    policy-statement POL {
+        term t1 {
+            from {
+                route-filter 10.0.0.0/8 exact;
+                route-filter 10.1.0.0/16 orlonger;
+                route-filter 10.2.0.0/16 longer;
+                route-filter 10.3.0.0/16 upto /24;
+                route-filter 10.4.0.0/16 prefix-length-range /20-/28;
+            }
+            then accept;
+        }
+    }
+}
+)");
+  const ir::RouteMap* map = config.FindRouteMap("POL");
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->clauses[0].matches.size(), 1u);
+  const auto& names = map->clauses[0].matches[0].names;
+  ASSERT_EQ(names.size(), 5u);
+  auto range_of = [&](int i) {
+    const ir::PrefixList* list = config.FindPrefixList(names[i]);
+    EXPECT_NE(list, nullptr);
+    return list->entries[0].range;
+  };
+  EXPECT_EQ(range_of(0), PrefixRange(*Prefix::Parse("10.0.0.0/8"), 8, 8));
+  EXPECT_EQ(range_of(1), PrefixRange(*Prefix::Parse("10.1.0.0/16"), 16, 32));
+  EXPECT_EQ(range_of(2), PrefixRange(*Prefix::Parse("10.2.0.0/16"), 17, 32));
+  EXPECT_EQ(range_of(3), PrefixRange(*Prefix::Parse("10.3.0.0/16"), 16, 24));
+  EXPECT_EQ(range_of(4), PrefixRange(*Prefix::Parse("10.4.0.0/16"), 20, 28));
+}
+
+TEST(JuniperParserTest, CommunitySetActions) {
+  auto config = Parse(R"(
+policy-options {
+    community TAG members [ 65000:1 65000:2 ];
+    policy-statement POL {
+        term t1 {
+            then {
+                community add TAG;
+                community delete TAG;
+                community set TAG;
+                accept;
+            }
+        }
+    }
+}
+)");
+  const ir::RouteMap* map = config.FindRouteMap("POL");
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->clauses[0].sets.size(), 3u);
+  EXPECT_EQ(map->clauses[0].sets[0].kind,
+            ir::RouteMapSet::Kind::kCommunityAdd);
+  EXPECT_EQ(map->clauses[0].sets[0].communities.size(), 2u);
+  EXPECT_EQ(map->clauses[0].sets[1].kind,
+            ir::RouteMapSet::Kind::kCommunityDelete);
+  EXPECT_EQ(map->clauses[0].sets[2].kind,
+            ir::RouteMapSet::Kind::kCommunitySet);
+}
+
+TEST(JuniperParserTest, FirewallFilterTerms) {
+  auto config = Parse(R"(
+firewall {
+    family inet {
+        filter VM_FILTER {
+            term permit_web {
+                from {
+                    source-address 10.1.0.0/16;
+                    destination-address 10.2.0.0/16;
+                    protocol tcp;
+                    destination-port 443;
+                }
+                then accept;
+            }
+            term deny_rest {
+                then discard;
+            }
+        }
+    }
+}
+)");
+  const ir::Acl* acl = config.FindAcl("VM_FILTER");
+  ASSERT_NE(acl, nullptr);
+  ASSERT_EQ(acl->lines.size(), 2u);
+  EXPECT_EQ(acl->lines[0].action, ir::LineAction::kPermit);
+  EXPECT_EQ(acl->lines[0].protocol, ir::kProtoTcp);
+  EXPECT_EQ(acl->lines[0].dst_ports[0], (ir::PortRange{443, 443}));
+  EXPECT_EQ(acl->lines[1].action, ir::LineAction::kDeny);
+  EXPECT_TRUE(acl->lines[1].src.IsAny());
+}
+
+TEST(JuniperParserTest, FilterTermCartesianExpansion) {
+  // Two sources x one destination x two protocols = 4 IR lines.
+  auto config = Parse(R"(
+firewall {
+    family inet {
+        filter F {
+            term t {
+                from {
+                    source-address 10.1.0.0/16;
+                    source-address 10.2.0.0/16;
+                    destination-address 10.3.0.0/16;
+                    protocol tcp;
+                    protocol udp;
+                }
+                then accept;
+            }
+        }
+    }
+}
+)");
+  const ir::Acl* acl = config.FindAcl("F");
+  ASSERT_NE(acl, nullptr);
+  EXPECT_EQ(acl->lines.size(), 4u);
+}
+
+TEST(JuniperParserTest, FilterPortRanges) {
+  auto config = Parse(R"(
+firewall {
+    family inet {
+        filter F {
+            term t {
+                from {
+                    protocol udp;
+                    destination-port 1024-65535;
+                }
+                then accept;
+            }
+        }
+    }
+}
+)");
+  const ir::Acl* acl = config.FindAcl("F");
+  ASSERT_NE(acl, nullptr);
+  EXPECT_EQ(acl->lines[0].dst_ports[0], (ir::PortRange{1024, 65535}));
+}
+
+TEST(JuniperParserTest, OspfAreasAndInterfaces) {
+  auto config = Parse(R"(
+interfaces {
+    xe-0/0/0 {
+        unit 0 { family inet { address 10.0.1.2/24; } }
+    }
+}
+protocols {
+    ospf {
+        reference-bandwidth 10g;
+        area 0.0.0.0 {
+            interface xe-0/0/0.0 {
+                metric 15;
+            }
+            interface lo0.0 {
+                passive;
+            }
+        }
+    }
+}
+)");
+  ASSERT_TRUE(config.ospf.has_value());
+  EXPECT_EQ(config.ospf->reference_bandwidth_mbps, 10000u);
+  const ir::Interface* xe = config.FindInterface("xe-0/0/0.0");
+  ASSERT_NE(xe, nullptr);
+  EXPECT_TRUE(xe->ospf_enabled);
+  EXPECT_EQ(xe->ospf_cost, 15u);
+  EXPECT_EQ(xe->ospf_area, 0u);
+  const ir::Interface* lo = config.FindInterface("lo0.0");
+  ASSERT_NE(lo, nullptr);
+  EXPECT_TRUE(lo->ospf_passive);
+}
+
+TEST(JuniperParserTest, OspfExportBecomesRedistribution) {
+  auto config = Parse(R"(
+policy-options {
+    policy-statement REDIST {
+        term statics {
+            from {
+                protocol static;
+            }
+            then accept;
+        }
+    }
+}
+protocols {
+    ospf {
+        export REDIST;
+    }
+}
+)");
+  ASSERT_TRUE(config.ospf.has_value());
+  ASSERT_EQ(config.ospf->redistributions.size(), 1u);
+  EXPECT_EQ(config.ospf->redistributions[0].from, ir::Protocol::kStatic);
+  EXPECT_EQ(config.ospf->redistributions[0].route_map, "REDIST");
+}
+
+TEST(JuniperParserTest, BgpGroupsAndNeighbors) {
+  auto config = Parse(R"(
+routing-options {
+    router-id 3.3.3.3;
+    autonomous-system 65000;
+}
+protocols {
+    bgp {
+        group ebgp-peers {
+            type external;
+            peer-as 65001;
+            import GROUP-IN;
+            neighbor 10.0.0.2 {
+                export PEER-OUT;
+            }
+            neighbor 10.0.0.6 {
+                peer-as 65002;
+            }
+        }
+        group rr-clients {
+            type internal;
+            cluster 3.3.3.3;
+            neighbor 10.255.0.1;
+        }
+    }
+}
+)");
+  ASSERT_TRUE(config.bgp.has_value());
+  EXPECT_EQ(config.bgp->asn, 65000u);
+  EXPECT_EQ(config.bgp->router_id, Ipv4Address(3, 3, 3, 3));
+  ASSERT_EQ(config.bgp->neighbors.size(), 3u);
+  const ir::BgpNeighbor& n1 = config.bgp->neighbors[0];
+  EXPECT_EQ(n1.remote_as, 65001u);
+  EXPECT_EQ(n1.import_policy, "GROUP-IN");  // Inherited from the group.
+  EXPECT_EQ(n1.export_policy, "PEER-OUT");  // Neighbor-level.
+  EXPECT_TRUE(n1.send_community);           // JunOS default.
+  EXPECT_EQ(config.bgp->neighbors[1].remote_as, 65002u);  // Override.
+  const ir::BgpNeighbor& rr = config.bgp->neighbors[2];
+  EXPECT_EQ(rr.remote_as, 65000u);  // Internal group.
+  EXPECT_TRUE(rr.route_reflector_client);
+}
+
+TEST(JuniperParserTest, CommentsAndStringsTolerated) {
+  auto config = Parse(R"(
+# leading comment
+system {
+    /* block
+       comment */
+    host-name "quoted name";
+}
+)");
+  EXPECT_EQ(config.hostname, "quoted name");
+}
+
+TEST(JuniperParserTest, DiagnosticsForUnsupportedConditions) {
+  auto result = ParseJuniperConfig(R"(
+policy-options {
+    policy-statement POL {
+        term t {
+            from {
+                rib inet.3;
+            }
+            then accept;
+        }
+    }
+}
+)",
+                                   "x.conf");
+  ASSERT_FALSE(result.diagnostics.empty());
+  EXPECT_NE(result.diagnostics[0].find("rib"), std::string::npos);
+}
+
+TEST(JuniperParserTest, SpanCoversTermText) {
+  auto result = ParseJuniperConfig(R"(policy-options {
+    policy-statement POL {
+        term rule3 {
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+}
+)",
+                                   "x.conf");
+  const ir::RouteMap* map = result.config.FindRouteMap("POL");
+  ASSERT_NE(map, nullptr);
+  const ir::RouteMapClause& clause = map->clauses[0];
+  EXPECT_NE(clause.span.text.find("term rule3"), std::string::npos);
+  EXPECT_NE(clause.span.text.find("local-preference 30"), std::string::npos);
+  EXPECT_EQ(clause.span.first_line, 3);
+  EXPECT_EQ(clause.span.last_line, 8);
+}
+
+
+TEST(JuniperParserTest, PrefixListFilterModes) {
+  auto config = Parse(R"(
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    policy-statement POL {
+        term t {
+            from {
+                prefix-list-filter NETS orlonger;
+            }
+            then accept;
+        }
+    }
+}
+)");
+  const ir::RouteMap* map = config.FindRouteMap("POL");
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->clauses[0].matches.size(), 1u);
+  const auto& names = map->clauses[0].matches[0].names;
+  ASSERT_EQ(names.size(), 1u);
+  const ir::PrefixList* lowered = config.FindPrefixList(names[0]);
+  ASSERT_NE(lowered, nullptr);
+  ASSERT_EQ(lowered->entries.size(), 2u);
+  // orlonger widens each entry to [base, 32] — the JunOS counterpart of
+  // Cisco's `le 32` window, making Fig.1-style pairs expressible.
+  EXPECT_EQ(lowered->entries[0].range,
+            PrefixRange(*Prefix::Parse("10.9.0.0/16"), 16, 32));
+}
+
+TEST(JuniperParserTest, PrefixListFilterUndefinedListDiagnosed) {
+  auto result = ParseJuniperConfig(R"(
+policy-options {
+    policy-statement POL {
+        term t {
+            from {
+                prefix-list-filter GHOST exact;
+            }
+            then accept;
+        }
+    }
+}
+)",
+                                   "x.conf");
+  ASSERT_FALSE(result.diagnostics.empty());
+  EXPECT_NE(result.diagnostics[0].find("GHOST"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace campion::juniper

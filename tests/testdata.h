@@ -1,0 +1,114 @@
+#pragma once
+
+// Shared fixtures for Campion's test suite: the Figure 1 configurations
+// from the paper (as inline text, so the tests do not depend on data-file
+// paths) and helpers to build small IR components programmatically.
+
+#include <string>
+
+#include "cisco/cisco_parser.h"
+#include "ir/config.h"
+#include "juniper/juniper_parser.h"
+
+namespace campion::testing {
+
+// Figure 1(a): the Cisco route map with `le 32` prefix windows and an
+// OR-semantics community list.
+inline const char* kFig1Cisco = R"(hostname cisco_router
+!
+interface Ethernet1
+ ip address 10.0.12.1 255.255.255.0
+!
+ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+!
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+!
+route-map POL deny 10
+ match ip address NETS
+route-map POL deny 20
+ match community COMM
+route-map POL permit 30
+ set local-preference 30
+!
+ip route 10.1.1.2 255.255.255.254 10.2.2.2
+!
+router bgp 65000
+ bgp router-id 10.0.12.1
+ neighbor 10.0.12.9 remote-as 65001
+ neighbor 10.0.12.9 route-map POL out
+ neighbor 10.0.12.9 send-community
+!
+end
+)";
+
+// Figure 1(b): the Juniper policy with exact-match prefix list and an
+// AND-semantics community.
+inline const char* kFig1Juniper = R"(system {
+    host-name juniper_router;
+}
+interfaces {
+    ge-0/0/0 {
+        unit 0 {
+            family inet {
+                address 10.0.12.2/24;
+            }
+        }
+    }
+}
+routing-options {
+    router-id 10.0.12.2;
+    autonomous-system 65000;
+}
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    policy-statement POL {
+        term rule1 {
+            from {
+                prefix-list NETS;
+            }
+            then reject;
+        }
+        term rule2 {
+            from {
+                community COMM;
+            }
+            then reject;
+        }
+        term rule3 {
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+}
+protocols {
+    bgp {
+        group ebgp-peers {
+            type external;
+            peer-as 65001;
+            neighbor 10.0.12.9 {
+                export POL;
+            }
+        }
+    }
+}
+)";
+
+inline ir::RouterConfig ParseCiscoOrDie(const std::string& text) {
+  auto result = cisco::ParseCiscoConfig(text, "test.cfg");
+  return result.config;
+}
+
+inline ir::RouterConfig ParseJuniperOrDie(const std::string& text) {
+  auto result = juniper::ParseJuniperConfig(text, "test.conf");
+  return result.config;
+}
+
+}  // namespace campion::testing

@@ -1,0 +1,141 @@
+// End-to-end tests of the `campion` CLI binary: exit codes, text and JSON
+// output, single-component modes, and batch mode. The binary path and a
+// scratch directory come from compile definitions set in CMake.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "cisco/cisco_unparser.h"
+#include "juniper/juniper_unparser.h"
+#include "tests/testdata.h"
+
+#ifndef CAMPION_CLI_PATH
+#error "CAMPION_CLI_PATH must be defined by the build"
+#endif
+
+namespace campion {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult RunCli(const std::string& args) {
+  std::string command = std::string(CAMPION_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  RunResult result;
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  std::size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = std::filesystem::temp_directory_path() / "campion-cli-test";
+    std::filesystem::create_directories(dir_);
+    Write("cisco.cfg", testing::kFig1Cisco);
+    Write("juniper.conf", testing::kFig1Juniper);
+  }
+
+  static void Write(const std::string& name, const std::string& content) {
+    std::ofstream file(dir_ / name);
+    file << content;
+  }
+
+  static std::string Path(const std::string& name) {
+    return (dir_ / name).string();
+  }
+
+  static std::filesystem::path dir_;
+};
+
+std::filesystem::path CliTest::dir_;
+
+TEST_F(CliTest, EquivalentConfigsExitZero) {
+  RunResult result = RunCli(Path("cisco.cfg") + " " + Path("cisco.cfg"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("behaviorally equivalent"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, DifferentConfigsExitTwoAndLocalize) {
+  RunResult result = RunCli(Path("cisco.cfg") + " " + Path("juniper.conf"));
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("Included Prefixes"), std::string::npos);
+  EXPECT_NE(result.output.find("route-map POL deny 10"), std::string::npos);
+  EXPECT_NE(result.output.find("Summary:"), std::string::npos);
+}
+
+TEST_F(CliTest, QuietSuppressesOutput) {
+  RunResult result =
+      RunCli("--quiet " + Path("cisco.cfg") + " " + Path("juniper.conf"));
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_TRUE(result.output.empty()) << result.output;
+}
+
+TEST_F(CliTest, JsonOutputParsesKeyFields) {
+  RunResult result = RunCli("--format=json " + Path("cisco.cfg") + " " +
+                         Path("juniper.conf"));
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("\"equivalent\": false"), std::string::npos);
+  EXPECT_NE(result.output.find("\"kind\": \"route-map\""),
+            std::string::npos);
+}
+
+TEST_F(CliTest, SingleRouteMapMode) {
+  RunResult result = RunCli("--route-map=POL " + Path("cisco.cfg") + " " +
+                         Path("juniper.conf"));
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("2 difference(s)"), std::string::npos);
+}
+
+TEST_F(CliTest, ChecksFilter) {
+  // Restricting to admin distances only: the Fig.1 pair is clean there.
+  RunResult result = RunCli("--checks=admin " + Path("cisco.cfg") + " " +
+                         Path("juniper.conf"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST_F(CliTest, UsageOnBadInvocation) {
+  EXPECT_EQ(RunCli("").exit_code, 1);
+  EXPECT_EQ(RunCli("onlyone.cfg").exit_code, 1);
+  EXPECT_EQ(RunCli("--format=yaml a b").exit_code, 1);
+  EXPECT_EQ(RunCli("--no-such-flag a b").exit_code, 1);
+}
+
+TEST_F(CliTest, MissingFileFails) {
+  RunResult result =
+      RunCli(Path("does-not-exist.cfg") + " " + Path("cisco.cfg"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, BatchMode) {
+  std::filesystem::create_directories(dir_ / "left");
+  std::filesystem::create_directories(dir_ / "right");
+  Write("left/pair1.cfg", testing::kFig1Cisco);
+  Write("right/pair1.conf", testing::kFig1Juniper);
+  Write("left/pair2.cfg", testing::kFig1Cisco);
+  Write("right/pair2.cfg", testing::kFig1Cisco);
+  RunResult result = RunCli("--batch " + Path("left") + " " + Path("right"));
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("pair2: equivalent"), std::string::npos);
+  EXPECT_NE(result.output.find("2 pair(s) compared, 1 with differences"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace campion

@@ -1,0 +1,53 @@
+#include "util/community.h"
+
+#include <gtest/gtest.h>
+
+namespace campion::util {
+namespace {
+
+TEST(CommunityTest, ParseColonForm) {
+  auto c = Community::Parse("10:11");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->high(), 10);
+  EXPECT_EQ(c->low(), 11);
+  EXPECT_EQ(c->ToString(), "10:11");
+}
+
+TEST(CommunityTest, ParseNumericForm) {
+  auto c = Community::Parse("655370");  // 10 * 65536 + 10
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, Community(10, 10));
+}
+
+TEST(CommunityTest, ParseBoundaries) {
+  EXPECT_TRUE(Community::Parse("0:0").has_value());
+  EXPECT_TRUE(Community::Parse("65535:65535").has_value());
+  EXPECT_FALSE(Community::Parse("65536:0").has_value());
+  EXPECT_FALSE(Community::Parse("0:65536").has_value());
+}
+
+TEST(CommunityTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Community::Parse("").has_value());
+  EXPECT_FALSE(Community::Parse(":").has_value());
+  EXPECT_FALSE(Community::Parse("10:").has_value());
+  EXPECT_FALSE(Community::Parse(":10").has_value());
+  EXPECT_FALSE(Community::Parse("a:b").has_value());
+  EXPECT_FALSE(Community::Parse("10:11:12").has_value());
+}
+
+TEST(CommunityTest, OrderingByValue) {
+  EXPECT_LT(Community(10, 10), Community(10, 11));
+  EXPECT_LT(Community(10, 65535), Community(11, 0));
+}
+
+TEST(CommunityTest, RoundTrip) {
+  for (auto c : {Community(0, 0), Community(65000, 100),
+                 Community(65535, 65535)}) {
+    auto back = Community::Parse(c.ToString());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, c);
+  }
+}
+
+}  // namespace
+}  // namespace campion::util

@@ -1,0 +1,171 @@
+#include "util/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace campion::util {
+namespace {
+
+TEST(Ipv4AddressTest, ParseValid) {
+  auto addr = Ipv4Address::Parse("10.9.0.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->bits(), 0x0A090001u);
+  EXPECT_EQ(addr->ToString(), "10.9.0.1");
+}
+
+TEST(Ipv4AddressTest, ParseBoundaries) {
+  EXPECT_EQ(Ipv4Address::Parse("0.0.0.0")->bits(), 0u);
+  EXPECT_EQ(Ipv4Address::Parse("255.255.255.255")->bits(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4AddressTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("10.9.0").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("10.9.0.1.2").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("10.9.0.256").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("10.9.0.-1").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("10.9..1").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("10.9.0.1 ").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("a.b.c.d").has_value());
+}
+
+TEST(Ipv4AddressTest, ConstructorFromOctets) {
+  Ipv4Address addr(192, 168, 1, 200);
+  EXPECT_EQ(addr.ToString(), "192.168.1.200");
+}
+
+TEST(Ipv4AddressTest, BitIndexing) {
+  Ipv4Address addr(0x80000001u);
+  EXPECT_TRUE(addr.Bit(0));
+  EXPECT_FALSE(addr.Bit(1));
+  EXPECT_FALSE(addr.Bit(30));
+  EXPECT_TRUE(addr.Bit(31));
+}
+
+TEST(Ipv4AddressTest, Ordering) {
+  EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Address(9, 255, 255, 255), Ipv4Address(10, 0, 0, 0));
+}
+
+TEST(MaskTest, MaskBits) {
+  EXPECT_EQ(MaskBits(0), 0u);
+  EXPECT_EQ(MaskBits(8), 0xFF000000u);
+  EXPECT_EQ(MaskBits(24), 0xFFFFFF00u);
+  EXPECT_EQ(MaskBits(31), 0xFFFFFFFEu);
+  EXPECT_EQ(MaskBits(32), 0xFFFFFFFFu);
+}
+
+TEST(MaskTest, MaskToLengthRoundTrip) {
+  for (int len = 0; len <= 32; ++len) {
+    auto back = MaskToLength(MaskBits(len));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, len);
+  }
+}
+
+TEST(MaskTest, MaskToLengthRejectsNonContiguous) {
+  EXPECT_FALSE(MaskToLength(0xFF00FF00u).has_value());
+  EXPECT_FALSE(MaskToLength(0x00000001u).has_value());
+  EXPECT_FALSE(MaskToLength(0xFFFFFF01u).has_value());
+}
+
+TEST(PrefixTest, HostBitsAreZeroed) {
+  Prefix p(Ipv4Address(10, 9, 200, 77), 16);
+  EXPECT_EQ(p.address().ToString(), "10.9.0.0");
+  EXPECT_EQ(p.ToString(), "10.9.0.0/16");
+}
+
+TEST(PrefixTest, ParseValid) {
+  auto p = Prefix::Parse("10.100.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 16);
+  EXPECT_EQ(p->address(), Ipv4Address(10, 100, 0, 0));
+}
+
+TEST(PrefixTest, ParseCanonicalizes) {
+  auto p = Prefix::Parse("10.100.3.7/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ToString(), "10.100.0.0/16");
+}
+
+TEST(PrefixTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::Parse("10.100.0.0").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.100.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.100.0.0/").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.100.0.0/16x").has_value());
+  EXPECT_FALSE(Prefix::Parse("/16").has_value());
+}
+
+TEST(PrefixTest, ContainsAddress) {
+  Prefix p(Ipv4Address(10, 9, 0, 0), 16);
+  EXPECT_TRUE(p.Contains(Ipv4Address(10, 9, 1, 2)));
+  EXPECT_TRUE(p.Contains(Ipv4Address(10, 9, 255, 255)));
+  EXPECT_FALSE(p.Contains(Ipv4Address(10, 10, 0, 0)));
+}
+
+TEST(PrefixTest, ContainsPrefix) {
+  Prefix wide(Ipv4Address(10, 0, 0, 0), 8);
+  Prefix narrow(Ipv4Address(10, 9, 1, 0), 24);
+  EXPECT_TRUE(wide.Contains(narrow));
+  EXPECT_FALSE(narrow.Contains(wide));
+  EXPECT_TRUE(wide.Contains(wide));
+}
+
+TEST(PrefixTest, ZeroLengthContainsEverything) {
+  Prefix all(Ipv4Address(0), 0);
+  EXPECT_TRUE(all.Contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_TRUE(all.Contains(Prefix(Ipv4Address(1, 2, 3, 4), 32)));
+}
+
+TEST(IpWildcardTest, PrefixWildcardMatches) {
+  IpWildcard w(Prefix(Ipv4Address(10, 9, 0, 0), 16));
+  EXPECT_TRUE(w.Matches(Ipv4Address(10, 9, 42, 1)));
+  EXPECT_FALSE(w.Matches(Ipv4Address(10, 8, 42, 1)));
+}
+
+TEST(IpWildcardTest, HostWildcard) {
+  IpWildcard w(Ipv4Address(10, 1, 2, 3));
+  EXPECT_TRUE(w.Matches(Ipv4Address(10, 1, 2, 3)));
+  EXPECT_FALSE(w.Matches(Ipv4Address(10, 1, 2, 4)));
+}
+
+TEST(IpWildcardTest, AnyMatchesEverything) {
+  EXPECT_TRUE(IpWildcard::Any().Matches(Ipv4Address(0)));
+  EXPECT_TRUE(IpWildcard::Any().Matches(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_TRUE(IpWildcard::Any().IsAny());
+}
+
+TEST(IpWildcardTest, ContiguousWildcardIsPrefixShaped) {
+  // 9.140.0.0 with wildcard 0.0.1.255 is exactly the prefix 9.140.0.0/23.
+  IpWildcard w(Ipv4Address(9, 140, 0, 0), 0x000001FFu);
+  EXPECT_TRUE(w.Matches(Ipv4Address(9, 140, 0, 7)));
+  EXPECT_TRUE(w.Matches(Ipv4Address(9, 140, 1, 200)));
+  EXPECT_FALSE(w.Matches(Ipv4Address(9, 140, 2, 0)));
+  auto p = w.AsPrefix();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ToString(), "9.140.0.0/23");
+}
+
+TEST(IpWildcardTest, NonContiguousWildcard) {
+  // Don't-care hole in the third octet only: matches 9.140.0.9 and
+  // 9.140.1.9 but no other last octet.
+  IpWildcard w(Ipv4Address(9, 140, 0, 9), 0x00000100u);
+  EXPECT_TRUE(w.Matches(Ipv4Address(9, 140, 0, 9)));
+  EXPECT_TRUE(w.Matches(Ipv4Address(9, 140, 1, 9)));
+  EXPECT_FALSE(w.Matches(Ipv4Address(9, 140, 0, 8)));
+  EXPECT_FALSE(w.AsPrefix().has_value());
+}
+
+TEST(IpWildcardTest, AsPrefixRoundTrip) {
+  Prefix p(Ipv4Address(172, 16, 0, 0), 12);
+  auto back = IpWildcard(p).AsPrefix();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(IpWildcardTest, ToStringFormat) {
+  IpWildcard w(Ipv4Address(9, 140, 0, 0), 0x000001FFu);
+  EXPECT_EQ(w.ToString(), "9.140.0.0 0.0.1.255");
+}
+
+}  // namespace
+}  // namespace campion::util

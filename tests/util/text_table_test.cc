@@ -1,0 +1,73 @@
+#include "util/text_table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/source_span.h"
+
+namespace campion::util {
+namespace {
+
+TEST(SplitLinesTest, Basic) {
+  EXPECT_EQ(SplitLines("a\nb"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitLines("a"), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(SplitLines(""), (std::vector<std::string>{""}));
+}
+
+TEST(SplitLinesTest, TrailingNewlineDropsEmptyTail) {
+  EXPECT_EQ(SplitLines("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SplitLinesTest, EmbeddedEmptyLinesKept) {
+  EXPECT_EQ(SplitLines("a\n\nb"), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(JoinLinesTest, Basic) {
+  EXPECT_EQ(JoinLines({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinLines({}, ", "), "");
+  EXPECT_EQ(JoinLines({"solo"}, ", "), "solo");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"", "left", "right"});
+  table.AddRow({"Field", "x", "yyyy"});
+  std::string out = table.Render();
+  // Every rendered line has the same width.
+  auto lines = SplitLines(out);
+  ASSERT_GE(lines.size(), 5u);
+  for (const auto& line : lines) {
+    if (!line.empty()) {
+      EXPECT_EQ(line.size(), lines[0].size()) << line;
+    }
+  }
+  EXPECT_NE(out.find("| Field |"), std::string::npos);
+}
+
+TEST(TextTableTest, MultiLineCells) {
+  TextTable table({"", "a", "b"});
+  table.AddRow({"Ranges", "1.0.0.0/8\n2.0.0.0/8", "one-liner"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("1.0.0.0/8"), std::string::npos);
+  EXPECT_NE(out.find("2.0.0.0/8"), std::string::npos);
+  // The two range lines occupy separate rendered lines.
+  EXPECT_LT(out.find("1.0.0.0/8"), out.find("2.0.0.0/8"));
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable table({"", "a", "b"});
+  table.AddRow({"OnlyField"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("OnlyField"), std::string::npos);
+}
+
+TEST(SourceSpanTest, LocationString) {
+  SourceSpan span{"router.cfg", 7, 8, "line7\nline8"};
+  EXPECT_EQ(span.LocationString(), "router.cfg:7-8");
+  SourceSpan single{"router.cfg", 7, 7, "line7"};
+  EXPECT_EQ(single.LocationString(), "router.cfg:7");
+  SourceSpan generated;
+  EXPECT_EQ(generated.LocationString(), "<generated>");
+  EXPECT_FALSE(generated.HasLocation());
+}
+
+}  // namespace
+}  // namespace campion::util
