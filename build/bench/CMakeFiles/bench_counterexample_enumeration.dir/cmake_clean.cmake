@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counterexample_enumeration.dir/bench_counterexample_enumeration.cc.o"
+  "CMakeFiles/bench_counterexample_enumeration.dir/bench_counterexample_enumeration.cc.o.d"
+  "bench_counterexample_enumeration"
+  "bench_counterexample_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counterexample_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headerlocalize.dir/bench_headerlocalize.cc.o"
+  "CMakeFiles/bench_headerlocalize.dir/bench_headerlocalize.cc.o.d"
+  "bench_headerlocalize"
+  "bench_headerlocalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headerlocalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

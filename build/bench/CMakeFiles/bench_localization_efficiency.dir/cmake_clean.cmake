@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_localization_efficiency.dir/bench_localization_efficiency.cc.o"
+  "CMakeFiles/bench_localization_efficiency.dir/bench_localization_efficiency.cc.o.d"
+  "bench_localization_efficiency"
+  "bench_localization_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_localization_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_acl.dir/bench_scalability_acl.cc.o"
+  "CMakeFiles/bench_scalability_acl.dir/bench_scalability_acl.cc.o.d"
+  "bench_scalability_acl"
+  "bench_scalability_acl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soundness_sim.dir/bench_soundness_sim.cc.o"
+  "CMakeFiles/bench_soundness_sim.dir/bench_soundness_sim.cc.o.d"
+  "bench_soundness_sim"
+  "bench_soundness_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soundness_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_minesweeper.dir/bench_table3_minesweeper.cc.o"
+  "CMakeFiles/bench_table3_minesweeper.dir/bench_table3_minesweeper.cc.o.d"
+  "bench_table3_minesweeper"
+  "bench_table3_minesweeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_minesweeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

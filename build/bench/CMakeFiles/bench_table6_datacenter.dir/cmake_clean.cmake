@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_datacenter.dir/bench_table6_datacenter.cc.o"
+  "CMakeFiles/bench_table6_datacenter.dir/bench_table6_datacenter.cc.o.d"
+  "bench_table6_datacenter"
+  "bench_table6_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_acl_debug.dir/bench_table7_acl_debug.cc.o"
+  "CMakeFiles/bench_table7_acl_debug.dir/bench_table7_acl_debug.cc.o.d"
+  "bench_table7_acl_debug"
+  "bench_table7_acl_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_acl_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

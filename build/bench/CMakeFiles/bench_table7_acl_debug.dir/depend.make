@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table7_acl_debug.
+# This may be replaced when dependencies are built.

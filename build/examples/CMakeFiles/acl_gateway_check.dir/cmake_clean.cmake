@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acl_gateway_check.dir/acl_gateway_check.cpp.o"
+  "CMakeFiles/acl_gateway_check.dir/acl_gateway_check.cpp.o.d"
+  "acl_gateway_check"
+  "acl_gateway_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acl_gateway_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_router_audit.dir/backup_router_audit.cpp.o"
+  "CMakeFiles/backup_router_audit.dir/backup_router_audit.cpp.o.d"
+  "backup_router_audit"
+  "backup_router_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_router_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_university_configs.dir/make_university_configs.cpp.o"
+  "CMakeFiles/make_university_configs.dir/make_university_configs.cpp.o.d"
+  "make_university_configs"
+  "make_university_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_university_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_replacement.dir/router_replacement.cpp.o"
+  "CMakeFiles/router_replacement.dir/router_replacement.cpp.o.d"
+  "router_replacement"
+  "router_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("bdd")
+subdirs("ir")
+subdirs("cisco")
+subdirs("frontend")
+subdirs("juniper")
+subdirs("encode")
+subdirs("core")
+subdirs("baseline")
+subdirs("sim")
+subdirs("gen")
+subdirs("tools")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campion_baseline.dir/monolithic.cc.o"
+  "CMakeFiles/campion_baseline.dir/monolithic.cc.o.d"
+  "libcampion_baseline.a"
+  "libcampion_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campion_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campion_bdd.dir/bdd.cc.o"
+  "CMakeFiles/campion_bdd.dir/bdd.cc.o.d"
+  "libcampion_bdd.a"
+  "libcampion_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campion_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

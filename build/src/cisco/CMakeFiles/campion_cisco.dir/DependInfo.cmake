@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cisco/cisco_parser.cc" "src/cisco/CMakeFiles/campion_cisco.dir/cisco_parser.cc.o" "gcc" "src/cisco/CMakeFiles/campion_cisco.dir/cisco_parser.cc.o.d"
+  "/root/repo/src/cisco/cisco_unparser.cc" "src/cisco/CMakeFiles/campion_cisco.dir/cisco_unparser.cc.o" "gcc" "src/cisco/CMakeFiles/campion_cisco.dir/cisco_unparser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/campion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/campion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

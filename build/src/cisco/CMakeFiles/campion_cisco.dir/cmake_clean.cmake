@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campion_cisco.dir/cisco_parser.cc.o"
+  "CMakeFiles/campion_cisco.dir/cisco_parser.cc.o.d"
+  "CMakeFiles/campion_cisco.dir/cisco_unparser.cc.o"
+  "CMakeFiles/campion_cisco.dir/cisco_unparser.cc.o.d"
+  "libcampion_cisco.a"
+  "libcampion_cisco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campion_cisco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

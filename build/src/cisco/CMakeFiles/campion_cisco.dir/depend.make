@@ -1,0 +1,2 @@
+# Empty dependencies file for campion_cisco.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_diff.cc" "src/core/CMakeFiles/campion_core.dir/config_diff.cc.o" "gcc" "src/core/CMakeFiles/campion_core.dir/config_diff.cc.o.d"
+  "/root/repo/src/core/ddnf.cc" "src/core/CMakeFiles/campion_core.dir/ddnf.cc.o" "gcc" "src/core/CMakeFiles/campion_core.dir/ddnf.cc.o.d"
+  "/root/repo/src/core/header_localize.cc" "src/core/CMakeFiles/campion_core.dir/header_localize.cc.o" "gcc" "src/core/CMakeFiles/campion_core.dir/header_localize.cc.o.d"
+  "/root/repo/src/core/json_report.cc" "src/core/CMakeFiles/campion_core.dir/json_report.cc.o" "gcc" "src/core/CMakeFiles/campion_core.dir/json_report.cc.o.d"
+  "/root/repo/src/core/match_policies.cc" "src/core/CMakeFiles/campion_core.dir/match_policies.cc.o" "gcc" "src/core/CMakeFiles/campion_core.dir/match_policies.cc.o.d"
+  "/root/repo/src/core/present.cc" "src/core/CMakeFiles/campion_core.dir/present.cc.o" "gcc" "src/core/CMakeFiles/campion_core.dir/present.cc.o.d"
+  "/root/repo/src/core/route_action.cc" "src/core/CMakeFiles/campion_core.dir/route_action.cc.o" "gcc" "src/core/CMakeFiles/campion_core.dir/route_action.cc.o.d"
+  "/root/repo/src/core/semantic_diff.cc" "src/core/CMakeFiles/campion_core.dir/semantic_diff.cc.o" "gcc" "src/core/CMakeFiles/campion_core.dir/semantic_diff.cc.o.d"
+  "/root/repo/src/core/structural_diff.cc" "src/core/CMakeFiles/campion_core.dir/structural_diff.cc.o" "gcc" "src/core/CMakeFiles/campion_core.dir/structural_diff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/encode/CMakeFiles/campion_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/campion_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/campion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/campion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

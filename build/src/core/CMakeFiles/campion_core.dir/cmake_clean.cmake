@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campion_core.dir/config_diff.cc.o"
+  "CMakeFiles/campion_core.dir/config_diff.cc.o.d"
+  "CMakeFiles/campion_core.dir/ddnf.cc.o"
+  "CMakeFiles/campion_core.dir/ddnf.cc.o.d"
+  "CMakeFiles/campion_core.dir/header_localize.cc.o"
+  "CMakeFiles/campion_core.dir/header_localize.cc.o.d"
+  "CMakeFiles/campion_core.dir/json_report.cc.o"
+  "CMakeFiles/campion_core.dir/json_report.cc.o.d"
+  "CMakeFiles/campion_core.dir/match_policies.cc.o"
+  "CMakeFiles/campion_core.dir/match_policies.cc.o.d"
+  "CMakeFiles/campion_core.dir/present.cc.o"
+  "CMakeFiles/campion_core.dir/present.cc.o.d"
+  "CMakeFiles/campion_core.dir/route_action.cc.o"
+  "CMakeFiles/campion_core.dir/route_action.cc.o.d"
+  "CMakeFiles/campion_core.dir/semantic_diff.cc.o"
+  "CMakeFiles/campion_core.dir/semantic_diff.cc.o.d"
+  "CMakeFiles/campion_core.dir/structural_diff.cc.o"
+  "CMakeFiles/campion_core.dir/structural_diff.cc.o.d"
+  "libcampion_core.a"
+  "libcampion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encode/packet.cc" "src/encode/CMakeFiles/campion_encode.dir/packet.cc.o" "gcc" "src/encode/CMakeFiles/campion_encode.dir/packet.cc.o.d"
+  "/root/repo/src/encode/policy_encoder.cc" "src/encode/CMakeFiles/campion_encode.dir/policy_encoder.cc.o" "gcc" "src/encode/CMakeFiles/campion_encode.dir/policy_encoder.cc.o.d"
+  "/root/repo/src/encode/route_adv.cc" "src/encode/CMakeFiles/campion_encode.dir/route_adv.cc.o" "gcc" "src/encode/CMakeFiles/campion_encode.dir/route_adv.cc.o.d"
+  "/root/repo/src/encode/symbolic_field.cc" "src/encode/CMakeFiles/campion_encode.dir/symbolic_field.cc.o" "gcc" "src/encode/CMakeFiles/campion_encode.dir/symbolic_field.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/campion_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/campion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/campion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

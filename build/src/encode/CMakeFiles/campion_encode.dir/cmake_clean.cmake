@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campion_encode.dir/packet.cc.o"
+  "CMakeFiles/campion_encode.dir/packet.cc.o.d"
+  "CMakeFiles/campion_encode.dir/policy_encoder.cc.o"
+  "CMakeFiles/campion_encode.dir/policy_encoder.cc.o.d"
+  "CMakeFiles/campion_encode.dir/route_adv.cc.o"
+  "CMakeFiles/campion_encode.dir/route_adv.cc.o.d"
+  "CMakeFiles/campion_encode.dir/symbolic_field.cc.o"
+  "CMakeFiles/campion_encode.dir/symbolic_field.cc.o.d"
+  "libcampion_encode.a"
+  "libcampion_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campion_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

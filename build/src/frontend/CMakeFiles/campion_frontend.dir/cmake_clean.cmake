@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campion_frontend.dir/loader.cc.o"
+  "CMakeFiles/campion_frontend.dir/loader.cc.o.d"
+  "libcampion_frontend.a"
+  "libcampion_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campion_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

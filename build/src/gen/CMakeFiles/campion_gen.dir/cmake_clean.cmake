@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campion_gen.dir/acl_gen.cc.o"
+  "CMakeFiles/campion_gen.dir/acl_gen.cc.o.d"
+  "CMakeFiles/campion_gen.dir/route_map_gen.cc.o"
+  "CMakeFiles/campion_gen.dir/route_map_gen.cc.o.d"
+  "CMakeFiles/campion_gen.dir/router_gen.cc.o"
+  "CMakeFiles/campion_gen.dir/router_gen.cc.o.d"
+  "CMakeFiles/campion_gen.dir/scenarios.cc.o"
+  "CMakeFiles/campion_gen.dir/scenarios.cc.o.d"
+  "libcampion_gen.a"
+  "libcampion_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campion_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campion_ir.dir/config.cc.o"
+  "CMakeFiles/campion_ir.dir/config.cc.o.d"
+  "CMakeFiles/campion_ir.dir/policy.cc.o"
+  "CMakeFiles/campion_ir.dir/policy.cc.o.d"
+  "libcampion_ir.a"
+  "libcampion_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campion_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

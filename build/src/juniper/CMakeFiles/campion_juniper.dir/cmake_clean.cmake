@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campion_juniper.dir/juniper_parser.cc.o"
+  "CMakeFiles/campion_juniper.dir/juniper_parser.cc.o.d"
+  "CMakeFiles/campion_juniper.dir/juniper_unparser.cc.o"
+  "CMakeFiles/campion_juniper.dir/juniper_unparser.cc.o.d"
+  "libcampion_juniper.a"
+  "libcampion_juniper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campion_juniper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcampion_juniper.a"
+)

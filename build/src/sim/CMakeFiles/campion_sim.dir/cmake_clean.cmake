@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campion_sim.dir/network.cc.o"
+  "CMakeFiles/campion_sim.dir/network.cc.o.d"
+  "CMakeFiles/campion_sim.dir/route.cc.o"
+  "CMakeFiles/campion_sim.dir/route.cc.o.d"
+  "libcampion_sim.a"
+  "libcampion_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campion_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcampion_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campion.dir/campion_main.cc.o"
+  "CMakeFiles/campion.dir/campion_main.cc.o.d"
+  "campion"
+  "campion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/community.cc" "src/util/CMakeFiles/campion_util.dir/community.cc.o" "gcc" "src/util/CMakeFiles/campion_util.dir/community.cc.o.d"
+  "/root/repo/src/util/ip.cc" "src/util/CMakeFiles/campion_util.dir/ip.cc.o" "gcc" "src/util/CMakeFiles/campion_util.dir/ip.cc.o.d"
+  "/root/repo/src/util/prefix_range.cc" "src/util/CMakeFiles/campion_util.dir/prefix_range.cc.o" "gcc" "src/util/CMakeFiles/campion_util.dir/prefix_range.cc.o.d"
+  "/root/repo/src/util/source_span.cc" "src/util/CMakeFiles/campion_util.dir/source_span.cc.o" "gcc" "src/util/CMakeFiles/campion_util.dir/source_span.cc.o.d"
+  "/root/repo/src/util/text_table.cc" "src/util/CMakeFiles/campion_util.dir/text_table.cc.o" "gcc" "src/util/CMakeFiles/campion_util.dir/text_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

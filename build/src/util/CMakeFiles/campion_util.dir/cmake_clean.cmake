@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campion_util.dir/community.cc.o"
+  "CMakeFiles/campion_util.dir/community.cc.o.d"
+  "CMakeFiles/campion_util.dir/ip.cc.o"
+  "CMakeFiles/campion_util.dir/ip.cc.o.d"
+  "CMakeFiles/campion_util.dir/prefix_range.cc.o"
+  "CMakeFiles/campion_util.dir/prefix_range.cc.o.d"
+  "CMakeFiles/campion_util.dir/source_span.cc.o"
+  "CMakeFiles/campion_util.dir/source_span.cc.o.d"
+  "CMakeFiles/campion_util.dir/text_table.cc.o"
+  "CMakeFiles/campion_util.dir/text_table.cc.o.d"
+  "libcampion_util.a"
+  "libcampion_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campion_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

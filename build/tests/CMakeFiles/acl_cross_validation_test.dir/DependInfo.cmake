@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/acl_cross_validation_test.cc" "tests/CMakeFiles/acl_cross_validation_test.dir/integration/acl_cross_validation_test.cc.o" "gcc" "tests/CMakeFiles/acl_cross_validation_test.dir/integration/acl_cross_validation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/campion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/campion_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/campion_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/campion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/campion_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/cisco/CMakeFiles/campion_cisco.dir/DependInfo.cmake"
+  "/root/repo/build/src/juniper/CMakeFiles/campion_juniper.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/campion_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/campion_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/campion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/campion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

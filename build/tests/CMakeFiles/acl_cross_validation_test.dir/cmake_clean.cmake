@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acl_cross_validation_test.dir/integration/acl_cross_validation_test.cc.o"
+  "CMakeFiles/acl_cross_validation_test.dir/integration/acl_cross_validation_test.cc.o.d"
+  "acl_cross_validation_test"
+  "acl_cross_validation_test.pdb"
+  "acl_cross_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acl_cross_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

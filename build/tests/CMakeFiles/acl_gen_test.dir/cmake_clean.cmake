@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acl_gen_test.dir/gen/acl_gen_test.cc.o"
+  "CMakeFiles/acl_gen_test.dir/gen/acl_gen_test.cc.o.d"
+  "acl_gen_test"
+  "acl_gen_test.pdb"
+  "acl_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acl_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisco_parser_test.dir/cisco/cisco_parser_test.cc.o"
+  "CMakeFiles/cisco_parser_test.dir/cisco/cisco_parser_test.cc.o.d"
+  "cisco_parser_test"
+  "cisco_parser_test.pdb"
+  "cisco_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisco_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

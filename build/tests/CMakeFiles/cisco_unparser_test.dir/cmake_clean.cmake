@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisco_unparser_test.dir/cisco/cisco_unparser_test.cc.o"
+  "CMakeFiles/cisco_unparser_test.dir/cisco/cisco_unparser_test.cc.o.d"
+  "cisco_unparser_test"
+  "cisco_unparser_test.pdb"
+  "cisco_unparser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisco_unparser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

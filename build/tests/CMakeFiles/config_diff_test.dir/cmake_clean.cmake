@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_diff_test.dir/core/config_diff_test.cc.o"
+  "CMakeFiles/config_diff_test.dir/core/config_diff_test.cc.o.d"
+  "config_diff_test"
+  "config_diff_test.pdb"
+  "config_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

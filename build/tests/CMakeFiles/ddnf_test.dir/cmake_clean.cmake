@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddnf_test.dir/core/ddnf_test.cc.o"
+  "CMakeFiles/ddnf_test.dir/core/ddnf_test.cc.o.d"
+  "ddnf_test"
+  "ddnf_test.pdb"
+  "ddnf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_features_test.dir/integration/extended_features_test.cc.o"
+  "CMakeFiles/extended_features_test.dir/integration/extended_features_test.cc.o.d"
+  "extended_features_test"
+  "extended_features_test.pdb"
+  "extended_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

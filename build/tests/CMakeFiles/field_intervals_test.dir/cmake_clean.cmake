@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_intervals_test.dir/encode/field_intervals_test.cc.o"
+  "CMakeFiles/field_intervals_test.dir/encode/field_intervals_test.cc.o.d"
+  "field_intervals_test"
+  "field_intervals_test.pdb"
+  "field_intervals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_intervals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

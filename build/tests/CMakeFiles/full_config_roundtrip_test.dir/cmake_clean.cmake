@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_config_roundtrip_test.dir/integration/full_config_roundtrip_test.cc.o"
+  "CMakeFiles/full_config_roundtrip_test.dir/integration/full_config_roundtrip_test.cc.o.d"
+  "full_config_roundtrip_test"
+  "full_config_roundtrip_test.pdb"
+  "full_config_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_config_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/header_localize_test.dir/core/header_localize_test.cc.o"
+  "CMakeFiles/header_localize_test.dir/core/header_localize_test.cc.o.d"
+  "header_localize_test"
+  "header_localize_test.pdb"
+  "header_localize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/header_localize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_config_test.dir/ir/config_test.cc.o"
+  "CMakeFiles/ir_config_test.dir/ir/config_test.cc.o.d"
+  "ir_config_test"
+  "ir_config_test.pdb"
+  "ir_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

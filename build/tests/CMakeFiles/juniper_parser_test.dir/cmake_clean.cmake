@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juniper_parser_test.dir/juniper/juniper_parser_test.cc.o"
+  "CMakeFiles/juniper_parser_test.dir/juniper/juniper_parser_test.cc.o.d"
+  "juniper_parser_test"
+  "juniper_parser_test.pdb"
+  "juniper_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juniper_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

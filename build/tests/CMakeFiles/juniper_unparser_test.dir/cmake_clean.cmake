@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juniper_unparser_test.dir/juniper/juniper_unparser_test.cc.o"
+  "CMakeFiles/juniper_unparser_test.dir/juniper/juniper_unparser_test.cc.o.d"
+  "juniper_unparser_test"
+  "juniper_unparser_test.pdb"
+  "juniper_unparser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juniper_unparser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_policies_test.dir/core/match_policies_test.cc.o"
+  "CMakeFiles/match_policies_test.dir/core/match_policies_test.cc.o.d"
+  "match_policies_test"
+  "match_policies_test.pdb"
+  "match_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_encoder_test.dir/encode/policy_encoder_test.cc.o"
+  "CMakeFiles/policy_encoder_test.dir/encode/policy_encoder_test.cc.o.d"
+  "policy_encoder_test"
+  "policy_encoder_test.pdb"
+  "policy_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_range_test.dir/util/prefix_range_test.cc.o"
+  "CMakeFiles/prefix_range_test.dir/util/prefix_range_test.cc.o.d"
+  "prefix_range_test"
+  "prefix_range_test.pdb"
+  "prefix_range_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

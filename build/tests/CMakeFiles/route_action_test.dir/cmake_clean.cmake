@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_action_test.dir/core/route_action_test.cc.o"
+  "CMakeFiles/route_action_test.dir/core/route_action_test.cc.o.d"
+  "route_action_test"
+  "route_action_test.pdb"
+  "route_action_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_action_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_adv_test.dir/encode/route_adv_test.cc.o"
+  "CMakeFiles/route_adv_test.dir/encode/route_adv_test.cc.o.d"
+  "route_adv_test"
+  "route_adv_test.pdb"
+  "route_adv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_adv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

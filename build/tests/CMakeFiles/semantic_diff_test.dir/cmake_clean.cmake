@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_diff_test.dir/core/semantic_diff_test.cc.o"
+  "CMakeFiles/semantic_diff_test.dir/core/semantic_diff_test.cc.o.d"
+  "semantic_diff_test"
+  "semantic_diff_test.pdb"
+  "semantic_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

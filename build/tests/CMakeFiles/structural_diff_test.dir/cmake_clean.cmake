@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_diff_test.dir/core/structural_diff_test.cc.o"
+  "CMakeFiles/structural_diff_test.dir/core/structural_diff_test.cc.o.d"
+  "structural_diff_test"
+  "structural_diff_test.pdb"
+  "structural_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_field_test.dir/encode/symbolic_field_test.cc.o"
+  "CMakeFiles/symbolic_field_test.dir/encode/symbolic_field_test.cc.o.d"
+  "symbolic_field_test"
+  "symbolic_field_test.pdb"
+  "symbolic_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
