@@ -2,6 +2,13 @@
 // SemanticDiff cost is dominated by BDD operations, so these bound what
 // the higher layers can achieve). Covers node construction, ITE, prefix
 // range encoding, quantification, and satisfying-assignment extraction.
+//
+// With --bench_out=PATH the summary also records kernel counters (arena
+// size, unique-table probe lengths, computed-cache hit rate) and ITE
+// throughput numbers as JSON, so the perf trajectory across PRs is
+// machine-diffable.
+
+#include <chrono>
 
 #include "bench/bench_util.h"
 #include "bdd/bdd.h"
@@ -35,6 +42,20 @@ void BM_IteDeep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IteDeep)->Arg(32)->Arg(128);
+
+void BM_IteParityBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  // Rebuilds parity in a fresh manager each iteration: cold caches, so
+  // this measures real ITE recursion + node interning rather than the
+  // warm top-level cache hit BM_IteDeep degenerates to.
+  for (auto _ : state) {
+    BddManager mgr(static_cast<campion::bdd::Var>(n));
+    BddRef f = mgr.False();
+    for (int i = 0; i < n; ++i) f = mgr.Xor(f, mgr.VarTrue(i));
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_IteParityBuild)->Arg(32)->Arg(96);
 
 void BM_PrefixRangeEncode(benchmark::State& state) {
   BddManager mgr;
@@ -83,7 +104,23 @@ void BM_SatCount(benchmark::State& state) {
 }
 BENCHMARK(BM_SatCount);
 
+// Times `reps` runs of `workload` and records ops/sec under `name`.
+template <typename Fn>
+double TimeWorkload(const std::string& name, int reps, Fn&& workload) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) workload();
+  auto stop = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(stop - start).count();
+  double ops_per_sec = seconds > 0 ? reps / seconds : 0.0;
+  campion::benchutil::BenchMetrics::Instance().Record(name + "_ops_per_sec",
+                                                      ops_per_sec);
+  std::cout << "  " << name << ": " << ops_per_sec << " ops/s\n";
+  return ops_per_sec;
+}
+
 void PrintSummary() {
+  auto& metrics = campion::benchutil::BenchMetrics::Instance();
+
   BddManager mgr(64);
   BddRef f = mgr.False();
   for (int i = 0; i < 64; i += 2) {
@@ -91,6 +128,60 @@ void PrintSummary() {
   }
   std::cout << "64-variable pairwise-AND union: " << mgr.NodeCount(f)
             << " nodes, satcount=" << mgr.SatCount(f) << "\n";
+
+  std::cout << "ITE throughput (kernel hot path):\n";
+  // Workload 1: fresh-manager conjunction chain — exercises MakeNode and
+  // the unique table's growth path.
+  TimeWorkload("var_and_chain_512", 200, [] {
+    BddManager m(512);
+    BddRef g = m.True();
+    for (int i = 0; i < 512; ++i) g = m.And(g, m.VarTrue(i));
+    benchmark::DoNotOptimize(g);
+  });
+  // Workload 2: parity negation in a warm manager — exercises the ITE
+  // computed cache and recursion machinery.
+  BddManager parity_mgr(128);
+  BddRef parity = parity_mgr.False();
+  for (int i = 0; i < 128; ++i) {
+    parity = parity_mgr.Xor(parity, parity_mgr.VarTrue(i));
+  }
+  BddRef sink = campion::bdd::kFalse;
+  TimeWorkload("parity_not_128", 200000, [&] {
+    sink = parity_mgr.Not(parity);
+    benchmark::DoNotOptimize(sink);
+  });
+  // Workload 3: prefix-range encoding — the encoder's dominant primitive.
+  TimeWorkload("prefix_range_encode_64", 500, [] {
+    BddManager m;
+    campion::encode::RouteAdvLayout layout(m, {});
+    for (int octet = 0; octet < 64; ++octet) {
+      BddRef g = layout.MatchPrefixRange(campion::util::PrefixRange(
+          campion::util::Prefix(
+              campion::util::Ipv4Address(
+                  10, static_cast<std::uint8_t>(octet), 0, 0),
+              16),
+          16, 24));
+      benchmark::DoNotOptimize(g);
+    }
+  });
+
+  // Kernel counters from a representative ITE-heavy manager.
+  campion::bdd::BddStats stats = parity_mgr.Stats();
+  std::cout << "parity manager kernel stats:\n"
+            << "  arena size:        " << stats.arena_size << " nodes\n"
+            << "  unique capacity:   " << stats.unique_capacity << " slots\n"
+            << "  avg probe length:  " << stats.AvgProbeLength() << "\n"
+            << "  cache capacity:    " << stats.cache_capacity << " slots\n"
+            << "  cache hit rate:    " << stats.CacheHitRate() << "\n";
+  metrics.Record("arena_size", static_cast<double>(stats.arena_size));
+  metrics.Record("unique_capacity", static_cast<double>(stats.unique_capacity));
+  metrics.Record("unique_probes", static_cast<double>(stats.unique_probes));
+  metrics.Record("unique_lookups", static_cast<double>(stats.unique_lookups));
+  metrics.Record("avg_probe_length", stats.AvgProbeLength());
+  metrics.Record("cache_capacity", static_cast<double>(stats.cache_capacity));
+  metrics.Record("cache_lookups", static_cast<double>(stats.cache_lookups));
+  metrics.Record("cache_hits", static_cast<double>(stats.cache_hits));
+  metrics.Record("cache_hit_rate", stats.CacheHitRate());
 }
 
 }  // namespace

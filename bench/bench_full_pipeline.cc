@@ -2,8 +2,15 @@
 // comparison (parse + all checks + localization) completes within seconds
 // — the paper reports under 5 s per data-center pair and ~3 s for the
 // university core+border pairs, with parsing dominating.
+//
+// The summary additionally times the compare phase serially
+// (num_threads=1) and with the worker pool (num_threads=0 = hardware
+// concurrency), checks the reports are byte-identical, and records both
+// wall-clocks with --bench_out so the parallel pipeline's trajectory is
+// tracked across PRs.
 
 #include <chrono>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "cisco/cisco_parser.h"
@@ -16,6 +23,8 @@
 namespace {
 
 void PrintRuntime() {
+  auto& metrics = campion::benchutil::BenchMetrics::Instance();
+
   // Padded to the paper's real config sizes (~1300-3300 lines per file).
   campion::gen::UniversityScenario scenario =
       campion::gen::BuildUniversityScenario(/*filler_components=*/900);
@@ -57,6 +66,40 @@ void PrintRuntime() {
             << "\n"
             << "  border differences reported: "
             << border_report.entries.size() << "\n";
+  metrics.Record("parse_seconds", parse_seconds);
+  metrics.Record("compare_seconds", diff_seconds);
+
+  // Serial vs pooled compare phase on the same parsed pairs. The pooled
+  // report must render byte-identically — the pipeline merges per-pair
+  // results in declaration order regardless of completion order.
+  auto timed_compare = [&](unsigned num_threads) {
+    campion::core::DiffOptions options;
+    options.num_threads = num_threads;
+    auto t0 = std::chrono::steady_clock::now();
+    auto core = campion::core::ConfigDiff(parsed_cisco_core.config,
+                                          parsed_juniper_core.config, options);
+    auto border = campion::core::ConfigDiff(
+        parsed_cisco_border.config, parsed_juniper_border.config, options);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::make_pair(std::chrono::duration<double>(t1 - t0).count(),
+                          core.Render() + border.Render());
+  };
+  auto [serial_seconds, serial_text] = timed_compare(1);
+  auto [parallel_seconds, parallel_text] = timed_compare(0);
+  unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "  compare serial (1 thread):   " << serial_seconds << " s\n"
+            << "  compare pooled (" << (hw == 0 ? 1 : hw)
+            << " threads):  " << parallel_seconds << " s\n"
+            << "  reports byte-identical:      "
+            << (serial_text == parallel_text ? "yes" : "NO (BUG)") << "\n";
+  metrics.Record("compare_serial_seconds", serial_seconds);
+  metrics.Record("compare_parallel_seconds", parallel_seconds);
+  metrics.Record("parallel_threads", hw == 0 ? 1.0 : hw);
+  metrics.Record("parallel_speedup",
+                 parallel_seconds > 0 ? serial_seconds / parallel_seconds
+                                      : 0.0);
+  metrics.Record("parallel_output_identical",
+                 serial_text == parallel_text ? 1.0 : 0.0);
 }
 
 void BM_FullPipelineUniversityPairs(benchmark::State& state) {

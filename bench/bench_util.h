@@ -5,13 +5,59 @@
 // reproduced artifact (so `./bench_tableN` output can be compared against
 // the paper directly), then runs google-benchmark timings for the
 // operations involved.
+//
+// Binaries may additionally record named metrics (wall times, throughput,
+// kernel counters) with BenchMetrics::Record; passing --bench_out=PATH
+// writes them as a flat JSON object, giving successive PRs a perf
+// trajectory to diff (bench/run_bench.sh drives this).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace campion::benchutil {
+
+// Collects named numeric metrics in insertion order. One instance per
+// bench binary (a function-local singleton keeps the header self-contained).
+class BenchMetrics {
+ public:
+  static BenchMetrics& Instance() {
+    static BenchMetrics metrics;
+    return metrics;
+  }
+
+  void Record(const std::string& name, double value) {
+    values_.emplace_back(name, value);
+  }
+
+  bool empty() const { return values_.empty(); }
+
+  // Writes {"name": value, ...}. Integral values print without a decimal
+  // point so counters stay grep-friendly.
+  std::string ToJson(const std::string& bench_name) const {
+    std::ostringstream out;
+    out << "{\n  \"bench\": \"" << bench_name << "\"";
+    for (const auto& [name, value] : values_) {
+      out << ",\n  \"" << name << "\": ";
+      if (value == static_cast<double>(static_cast<long long>(value))) {
+        out << static_cast<long long>(value);
+      } else {
+        out << value;
+      }
+    }
+    out << "\n}\n";
+    return out.str();
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> values_;
+};
 
 inline void PrintHeader(const std::string& title) {
   std::cout << "\n==================================================\n"
@@ -19,14 +65,50 @@ inline void PrintHeader(const std::string& title) {
             << "==================================================\n";
 }
 
-// Runs the artifact printer, then benchmark main.
+// Extracts --bench_out=PATH from argv (removing it so google-benchmark
+// does not reject the unknown flag). Returns the path, or "" if absent.
+inline std::string ExtractBenchOutPath(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    constexpr const char* kFlag = "--bench_out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      path = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+// Derives the bench name from argv[0] ("/path/to/bench_bdd" -> "bench_bdd").
+inline std::string BenchNameFromArgv0(const char* argv0) {
+  std::string name = argv0 == nullptr ? "bench" : argv0;
+  std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name;
+}
+
+// Runs the artifact printer, then benchmark main, then (if --bench_out was
+// given) dumps recorded metrics as JSON.
 template <typename Fn>
 int RunBench(int argc, char** argv, const std::string& title, Fn&& print) {
+  std::string bench_out = ExtractBenchOutPath(&argc, argv);
   PrintHeader(title);
   print();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  if (!bench_out.empty()) {
+    std::ofstream file(bench_out);
+    if (!file) {
+      std::cerr << "error: cannot write " << bench_out << "\n";
+      return 1;
+    }
+    file << BenchMetrics::Instance().ToJson(BenchNameFromArgv0(argv[0]));
+    std::cout << "metrics written to " << bench_out << "\n";
+  }
   return 0;
 }
 

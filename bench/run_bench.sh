@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory benchmarks and records their metrics as JSON
+# (BENCH_bdd.json, BENCH_full_pipeline.json) in the repo root, so each PR
+# can diff its numbers against the committed baseline.
+#
+# Usage: bench/run_bench.sh [BUILD_DIR]   (default: build)
+# Also wired as a CMake target: cmake --build build --target bench
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_bdd" ]]; then
+  echo "error: $BUILD_DIR/bench/bench_bdd not built (run: cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+run() {
+  local name="$1"
+  echo "--- $name ---"
+  "$BUILD_DIR/bench/$name" --bench_out="BENCH_${name#bench_}.json" \
+      --benchmark_min_time=0.1
+  echo
+}
+
+run bench_bdd
+run bench_full_pipeline
+
+echo "Wrote BENCH_bdd.json and BENCH_full_pipeline.json"

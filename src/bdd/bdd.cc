@@ -3,14 +3,41 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <set>
 
 namespace campion::bdd {
+namespace {
+
+// Initial capacities. Managers are created per differencing task, so the
+// footprint at rest stays small; both tables grow with the workload.
+constexpr std::size_t kInitialUniqueCapacity = 1u << 13;
+constexpr std::size_t kInitialCacheCapacity = 1u << 12;
+constexpr std::size_t kMaxCacheCapacity = 1u << 21;
+
+// 64-bit avalanche mix (splitmix64 finalizer) over the node key. The
+// unique table and the computed cache both need well-spread low bits
+// because capacity is a power of two.
+inline std::uint64_t MixHash(std::uint64_t a, std::uint64_t b,
+                             std::uint64_t c) {
+  std::uint64_t h = a * 0x9e3779b97f4a7c15ull;
+  h ^= b + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= c + 0x94d049bb133111ebull + (h << 6) + (h >> 2);
+  h ^= h >> 31;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 29;
+  return h;
+}
+
+}  // namespace
 
 BddManager::BddManager(Var num_vars) : num_vars_(num_vars) {
   nodes_.push_back({kTerminalVar, kFalse, kFalse});  // 0: false terminal
   nodes_.push_back({kTerminalVar, kTrue, kTrue});    // 1: true terminal
   var_true_.resize(num_vars_, kFalse);
+  unique_slots_.assign(kInitialUniqueCapacity, kFalse);
+  unique_mask_ = kInitialUniqueCapacity - 1;
+  ite_cache_.assign(kInitialCacheCapacity, CacheEntry{});
+  cache_mask_ = kInitialCacheCapacity - 1;
 }
 
 Var BddManager::AddVars(Var count) {
@@ -32,55 +59,177 @@ BddRef BddManager::VarFalse(Var v) { return Not(VarTrue(v)); }
 
 BddRef BddManager::MakeNode(Var var, BddRef low, BddRef high) {
   if (low == high) return low;
-  NodeKey key{var, low, high};
-  auto [it, inserted] = unique_.try_emplace(key, 0);
-  if (inserted) {
-    it->second = static_cast<BddRef>(nodes_.size());
-    nodes_.push_back({var, low, high});
+  ++stat_unique_lookups_;
+  std::size_t idx = MixHash(var, low, high) & unique_mask_;
+  while (true) {
+    ++stat_unique_probes_;
+    BddRef slot = unique_slots_[idx];
+    if (slot == kFalse) break;  // Empty: the node is new.
+    const Node& n = nodes_[slot];
+    if (n.var == var && n.low == low && n.high == high) {
+      ++stat_unique_hits_;
+      return slot;
+    }
+    idx = (idx + 1) & unique_mask_;
   }
-  return it->second;
+  BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, low, high});
+  unique_slots_[idx] = ref;
+  // Rehash at 50% load: linear probing stays short and slots are 4 bytes.
+  if (++unique_size_ * 2 >= unique_slots_.size()) {
+    RehashUnique(unique_slots_.size() * 2);
+    MaybeGrowCache();
+  }
+  return ref;
 }
 
-BddRef BddManager::Ite(BddRef f, BddRef g, BddRef h) { return IteRec(f, g, h); }
+void BddManager::RehashUnique(std::size_t new_capacity) {
+  unique_slots_.assign(new_capacity, kFalse);
+  unique_mask_ = new_capacity - 1;
+  for (BddRef ref = kTrue + 1; ref < nodes_.size(); ++ref) {
+    const Node& n = nodes_[ref];
+    std::size_t idx = MixHash(n.var, n.low, n.high) & unique_mask_;
+    while (unique_slots_[idx] != kFalse) idx = (idx + 1) & unique_mask_;
+    unique_slots_[idx] = ref;
+  }
+}
 
-BddRef BddManager::IteRec(BddRef f, BddRef g, BddRef h) {
-  // Terminal cases.
+void BddManager::MaybeGrowCache() {
+  // Track the arena: a cache much smaller than the working set thrashes.
+  // Entries stay valid across growth (results are canonical refs), so
+  // reinsert them; collisions overwrite, which is fine for a lossy cache.
+  if (ite_cache_.size() >= kMaxCacheCapacity) return;
+  if (nodes_.size() < ite_cache_.size()) return;
+  std::vector<CacheEntry> old = std::move(ite_cache_);
+  std::size_t new_capacity = old.size() * 2;
+  ite_cache_.assign(new_capacity, CacheEntry{});
+  cache_mask_ = new_capacity - 1;
+  for (const CacheEntry& e : old) {
+    if (e.f == kFalse) continue;
+    ite_cache_[MixHash(e.f, e.g, e.h) & cache_mask_] = e;
+  }
+}
+
+BddRef BddManager::Ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal fast path: most calls from the And/Or/Not wrappers resolve
+  // here without touching the frame stack.
   if (f == kTrue) return g;
   if (f == kFalse) return h;
   if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
 
-  IteKey key{f, g, h};
-  if (auto it = ite_cache_.find(key); it != ite_cache_.end()) {
-    return it->second;
+  // Top-level cache probe: a warm hit returns without stack setup. A miss
+  // is not counted here — the root frame's probe below counts it.
+  {
+    const CacheEntry& e = ite_cache_[MixHash(f, g, h) & cache_mask_];
+    if (e.f == f && e.g == g && e.h == h) {
+      ++stat_cache_hits_;
+      return e.result;
+    }
   }
 
-  Var vf = nodes_[f].var;
-  Var vg = nodes_[g].var;  // kTerminalVar if terminal, sorts after all vars.
-  Var vh = nodes_[h].var;
-  Var top = std::min({vf, vg, vh});
+  ite_frames_.clear();
+  ite_values_.clear();
+  ite_frames_.push_back({f, g, h, 0, 0, 0, 0, 0, 0});
 
-  BddRef f0 = vf == top ? nodes_[f].low : f;
-  BddRef f1 = vf == top ? nodes_[f].high : f;
-  BddRef g0 = vg == top ? nodes_[g].low : g;
-  BddRef g1 = vg == top ? nodes_[g].high : g;
-  BddRef h0 = vh == top ? nodes_[h].low : h;
-  BddRef h1 = vh == top ? nodes_[h].high : h;
+  while (!ite_frames_.empty()) {
+    IteFrame& fr = ite_frames_.back();
+    switch (fr.state) {
+      case 0: {
+        // Terminal cases produce a value immediately.
+        if (fr.f == kTrue) {
+          ite_values_.push_back(fr.g);
+          ite_frames_.pop_back();
+          break;
+        }
+        if (fr.f == kFalse) {
+          ite_values_.push_back(fr.h);
+          ite_frames_.pop_back();
+          break;
+        }
+        if (fr.g == fr.h) {
+          ite_values_.push_back(fr.g);
+          ite_frames_.pop_back();
+          break;
+        }
+        if (fr.g == kTrue && fr.h == kFalse) {
+          ite_values_.push_back(fr.f);
+          ite_frames_.pop_back();
+          break;
+        }
+        const CacheEntry& e =
+            ite_cache_[MixHash(fr.f, fr.g, fr.h) & cache_mask_];
+        if (e.f == fr.f && e.g == fr.g && e.h == fr.h) {
+          ++stat_cache_hits_;
+          ite_values_.push_back(e.result);
+          ite_frames_.pop_back();
+          break;
+        }
+        ++stat_cache_misses_;
 
-  BddRef low = IteRec(f0, g0, h0);
-  BddRef high = IteRec(f1, g1, h1);
-  BddRef result = MakeNode(top, low, high);
-  ite_cache_.emplace(key, result);
-  return result;
+        Var vf = nodes_[fr.f].var;
+        Var vg = nodes_[fr.g].var;  // kTerminalVar sorts after all vars.
+        Var vh = nodes_[fr.h].var;
+        Var top = std::min({vf, vg, vh});
+
+        BddRef f0 = vf == top ? nodes_[fr.f].low : fr.f;
+        BddRef g0 = vg == top ? nodes_[fr.g].low : fr.g;
+        BddRef h0 = vh == top ? nodes_[fr.h].low : fr.h;
+        fr.f1 = vf == top ? nodes_[fr.f].high : fr.f;
+        fr.g1 = vg == top ? nodes_[fr.g].high : fr.g;
+        fr.h1 = vh == top ? nodes_[fr.h].high : fr.h;
+        fr.top = top;
+        fr.state = 1;
+        // push_back may invalidate `fr`; it is not used past this point.
+        ite_frames_.push_back({f0, g0, h0, 0, 0, 0, 0, 0, 0});
+        break;
+      }
+      case 1: {
+        fr.low = ite_values_.back();
+        ite_values_.pop_back();
+        fr.state = 2;
+        ite_frames_.push_back({fr.f1, fr.g1, fr.h1, 0, 0, 0, 0, 0, 0});
+        break;
+      }
+      default: {  // state 2: both cofactors resolved.
+        BddRef high = ite_values_.back();
+        ite_values_.pop_back();
+        BddRef result = MakeNode(fr.top, fr.low, high);
+        ite_cache_[MixHash(fr.f, fr.g, fr.h) & cache_mask_] = {fr.f, fr.g,
+                                                               fr.h, result};
+        ite_values_.push_back(result);
+        ite_frames_.pop_back();
+        break;
+      }
+    }
+  }
+  assert(ite_values_.size() == 1);
+  return ite_values_.back();
+}
+
+BddStats BddManager::Stats() const {
+  BddStats stats;
+  stats.arena_size = nodes_.size();
+  stats.unique_capacity = unique_slots_.size();
+  stats.unique_lookups = stat_unique_lookups_;
+  stats.unique_probes = stat_unique_probes_;
+  stats.unique_hits = stat_unique_hits_;
+  stats.cache_capacity = ite_cache_.size();
+  stats.cache_lookups = stat_cache_hits_ + stat_cache_misses_;
+  stats.cache_hits = stat_cache_hits_;
+  return stats;
 }
 
 double BddManager::SatCount(BddRef f) {
   std::unordered_map<BddRef, double> memo;
   // SatCountRec counts assignments to variables strictly below the node's
-  // own variable; scale by the free variables above the root.
+  // own variable; scale by the free variables above the root. Exponents are
+  // computed in int so terminal sentinels (kTerminalVar) can never wrap the
+  // unsigned subtraction into a huge power.
   double below = SatCountRec(f, memo);
-  Var root_var = IsTerminal(f) ? num_vars_ : nodes_[f].var;
-  return below * std::pow(2.0, static_cast<double>(root_var));
+  int root_var = IsTerminal(f) ? static_cast<int>(num_vars_)
+                               : static_cast<int>(nodes_[f].var);
+  return std::ldexp(below, root_var);
 }
 
 double BddManager::SatCountRec(BddRef f,
@@ -90,41 +239,61 @@ double BddManager::SatCountRec(BddRef f,
   if (auto it = memo.find(f); it != memo.end()) return it->second;
   const Node& n = nodes_[f];
   auto weight = [&](BddRef child) {
-    Var child_var = IsTerminal(child) ? num_vars_ : nodes_[child].var;
-    return SatCountRec(child, memo) *
-           std::pow(2.0, static_cast<double>(child_var - n.var - 1));
+    int child_var = IsTerminal(child) ? static_cast<int>(num_vars_)
+                                      : static_cast<int>(nodes_[child].var);
+    int exponent = child_var - static_cast<int>(n.var) - 1;
+    assert(exponent >= 0);  // Children are strictly below their parent.
+    return std::ldexp(SatCountRec(child, memo), exponent);
   };
   double count = weight(n.low) + weight(n.high);
   memo.emplace(f, count);
   return count;
 }
 
-std::size_t BddManager::NodeCount(BddRef f) const {
-  std::set<BddRef> seen;
-  std::vector<BddRef> stack{f};
-  while (!stack.empty()) {
-    BddRef n = stack.back();
-    stack.pop_back();
-    if (IsTerminal(n) || !seen.insert(n).second) continue;
-    stack.push_back(nodes_[n].low);
-    stack.push_back(nodes_[n].high);
+void BddManager::BeginVisit() const {
+  if (visit_mark_.size() < nodes_.size()) {
+    visit_mark_.resize(nodes_.size(), 0);
   }
-  return seen.size();
+  if (++visit_stamp_ == 0) {  // Stamp wrapped: reset all marks once.
+    std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
+    visit_stamp_ = 1;
+  }
+}
+
+std::size_t BddManager::NodeCount(BddRef f) const {
+  BeginVisit();
+  std::size_t count = 0;
+  visit_stack_.clear();
+  visit_stack_.push_back(f);
+  while (!visit_stack_.empty()) {
+    BddRef n = visit_stack_.back();
+    visit_stack_.pop_back();
+    if (IsTerminal(n) || Visited(n)) continue;
+    MarkVisited(n);
+    ++count;
+    visit_stack_.push_back(nodes_[n].low);
+    visit_stack_.push_back(nodes_[n].high);
+  }
+  return count;
 }
 
 std::vector<Var> BddManager::Support(BddRef f) const {
-  std::set<Var> vars;
-  std::set<BddRef> seen;
-  std::vector<BddRef> stack{f};
-  while (!stack.empty()) {
-    BddRef n = stack.back();
-    stack.pop_back();
-    if (IsTerminal(n) || !seen.insert(n).second) continue;
-    vars.insert(nodes_[n].var);
-    stack.push_back(nodes_[n].low);
-    stack.push_back(nodes_[n].high);
+  BeginVisit();
+  std::vector<Var> vars;
+  visit_stack_.clear();
+  visit_stack_.push_back(f);
+  while (!visit_stack_.empty()) {
+    BddRef n = visit_stack_.back();
+    visit_stack_.pop_back();
+    if (IsTerminal(n) || Visited(n)) continue;
+    MarkVisited(n);
+    vars.push_back(nodes_[n].var);
+    visit_stack_.push_back(nodes_[n].low);
+    visit_stack_.push_back(nodes_[n].high);
   }
-  return {vars.begin(), vars.end()};
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
 }
 
 std::optional<Cube> BddManager::AnySat(BddRef f) const {

@@ -5,10 +5,21 @@
 // This is Campion's symbolic substrate, standing in for the JavaBDD library
 // used by the paper. Sets of packets, route advertisements, and IP prefix
 // ranges are all encoded as BDDs over a fixed variable order (see
-// src/encode). The kernel is deliberately classic: a grow-only node arena,
-// a unique table guaranteeing canonicity, and an ITE operation with a
-// computed-table cache. There is no garbage collection; managers are cheap
-// and each differencing task owns one, so nodes live for the task.
+// src/encode). There is no garbage collection; managers are cheap and each
+// differencing task owns one, so nodes live for the task.
+//
+// The kernel is laid out for speed, CUDD-style:
+//   * the unique table is a single flat open-addressing array (power-of-two
+//     capacity, linear probing, amortized doubling) whose slots are node
+//     indices — keys live in the node arena itself, so a probe touches at
+//     most two cache lines;
+//   * the ITE computed table is a lossy direct-mapped cache (fixed-size
+//     power-of-two array, overwrite on collision) so memoization costs O(1)
+//     with zero allocation on the hot path;
+//   * ITE itself runs on an explicit frame stack, so pathological inputs
+//     cannot overflow the machine stack;
+//   * traversals (NodeCount, Support) reuse a per-manager visited-stamp
+//     vector instead of allocating set containers.
 //
 // Node references (BddRef) are indices into the manager's arena and are only
 // meaningful with respect to the manager that produced them. Reference 0 is
@@ -32,6 +43,33 @@ inline constexpr BddRef kTrue = 1;
 // A (possibly partial) truth assignment: one entry per variable,
 // -1 = don't care, 0 = false, 1 = true.
 using Cube = std::vector<std::int8_t>;
+
+// Kernel instrumentation, exposed through BddManager::Stats(). Counters
+// accumulate over the manager's lifetime; benchmarks snapshot them before
+// and after a workload to report per-phase numbers.
+struct BddStats {
+  std::size_t arena_size = 0;       // Nodes allocated, including terminals.
+  std::size_t unique_capacity = 0;  // Open-addressing table slots.
+  std::uint64_t unique_lookups = 0; // MakeNode calls that consulted the table.
+  std::uint64_t unique_probes = 0;  // Total probe steps across all lookups.
+  std::uint64_t unique_hits = 0;    // Lookups that found an existing node.
+  std::size_t cache_capacity = 0;   // Computed-cache slots.
+  std::uint64_t cache_lookups = 0;  // ITE cache probes.
+  std::uint64_t cache_hits = 0;     // ITE cache hits.
+
+  double CacheHitRate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
+  double AvgProbeLength() const {
+    return unique_lookups == 0
+               ? 0.0
+               : static_cast<double>(unique_probes) /
+                     static_cast<double>(unique_lookups);
+  }
+};
 
 class BddManager {
  public:
@@ -80,6 +118,9 @@ class BddManager {
   // Total nodes allocated in this manager (arena size, including terminals).
   std::size_t ArenaSize() const { return nodes_.size(); }
 
+  // Kernel counters (arena size, probe lengths, cache hit rate).
+  BddStats Stats() const;
+
   // The set of variables f depends on.
   std::vector<Var> Support(BddRef f) const;
 
@@ -114,44 +155,70 @@ class BddManager {
   };
   static constexpr Var kTerminalVar = ~Var{0};
 
-  struct NodeKey {
-    Var var;
-    BddRef low;
-    BddRef high;
-    bool operator==(const NodeKey&) const = default;
+  // Lossy computed-cache entry for Ite(f, g, h) = result. `f` is never a
+  // terminal when cached (terminal cases short-circuit), so f == 0 marks an
+  // empty slot.
+  struct CacheEntry {
+    BddRef f = 0;
+    BddRef g = 0;
+    BddRef h = 0;
+    BddRef result = 0;
   };
-  struct NodeKeyHash {
-    std::size_t operator()(const NodeKey& k) const {
-      std::size_t h = k.var;
-      h = h * 0x9e3779b97f4a7c15ull + k.low;
-      h = h * 0x9e3779b97f4a7c15ull + k.high;
-      return h;
-    }
-  };
-  struct IteKey {
-    BddRef f, g, h;
-    bool operator==(const IteKey&) const = default;
-  };
-  struct IteKeyHash {
-    std::size_t operator()(const IteKey& k) const {
-      std::size_t h = k.f;
-      h = h * 0x9e3779b97f4a7c15ull + k.g;
-      h = h * 0x9e3779b97f4a7c15ull + k.h;
-      return h;
-    }
+
+  // An ITE activation record for the explicit evaluation stack.
+  struct IteFrame {
+    BddRef f, g, h;     // The original triple (cache key).
+    BddRef f1, g1, h1;  // High cofactors, saved for the second visit.
+    BddRef low;         // Result of the low branch.
+    Var top;            // Branching variable.
+    std::uint8_t state; // 0 = enter, 1 = low done, 2 = high done.
   };
 
   BddRef MakeNode(Var var, BddRef low, BddRef high);
-  BddRef IteRec(BddRef f, BddRef g, BddRef h);
+  void RehashUnique(std::size_t new_capacity);
+  void MaybeGrowCache();
   BddRef ExistsRec(BddRef f, const std::vector<bool>& quantified,
                    std::unordered_map<BddRef, BddRef>& memo);
   double SatCountRec(BddRef f, std::unordered_map<BddRef, double>& memo);
+  // Starts a stamped traversal: bumps the visit stamp (resetting marks on
+  // wraparound) and sizes the mark vector to the arena.
+  void BeginVisit() const;
+  bool Visited(BddRef f) const {
+    return visit_mark_[f] == visit_stamp_;
+  }
+  void MarkVisited(BddRef f) const { visit_mark_[f] = visit_stamp_; }
 
   Var num_vars_;
   std::vector<Node> nodes_;
   std::vector<BddRef> var_true_;  // Cache of single-variable functions.
-  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
-  std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
+
+  // Open-addressing unique table: power-of-two capacity, linear probing,
+  // slot value 0 (the false terminal, never interned) means empty.
+  std::vector<BddRef> unique_slots_;
+  std::size_t unique_mask_ = 0;
+  std::size_t unique_size_ = 0;
+
+  // Direct-mapped lossy ITE cache.
+  std::vector<CacheEntry> ite_cache_;
+  std::size_t cache_mask_ = 0;
+
+  // Reusable scratch for Ite (cleared, not reallocated, between calls).
+  std::vector<IteFrame> ite_frames_;
+  std::vector<BddRef> ite_values_;
+
+  // Reusable visited stamps for NodeCount/Support.
+  mutable std::vector<std::uint32_t> visit_mark_;
+  mutable std::uint32_t visit_stamp_ = 0;
+  mutable std::vector<BddRef> visit_stack_;
+
+  // Instrumentation.
+  mutable std::uint64_t stat_unique_lookups_ = 0;
+  mutable std::uint64_t stat_unique_probes_ = 0;
+  mutable std::uint64_t stat_unique_hits_ = 0;
+  // Hits and misses are counted separately (lookups = hits + misses) so
+  // the warm-hit fast path in Ite costs a single increment.
+  mutable std::uint64_t stat_cache_misses_ = 0;
+  mutable std::uint64_t stat_cache_hits_ = 0;
 };
 
 }  // namespace campion::bdd

@@ -1,12 +1,17 @@
 #include "core/config_diff.h"
 
+#include <cstddef>
+#include <functional>
+#include <iterator>
 #include <set>
+#include <utility>
 
 #include "bdd/bdd.h"
 #include "core/semantic_diff.h"
 #include "core/structural_diff.h"
 #include "encode/packet.h"
 #include "encode/route_adv.h"
+#include "util/thread_pool.h"
 
 namespace campion::core {
 namespace {
@@ -162,6 +167,17 @@ DiffReport ConfigDiff(const ir::RouterConfig& config1,
     }
   };
 
+  // The semantic checks are the expensive part (each pair builds and
+  // compares BDDs), and every pair is independent: each task constructs its
+  // own BddManager and layout, so tasks share no mutable state. Fan the
+  // distinct pairs out across the worker pool, then merge results back in
+  // pair-declaration order so the report is byte-identical to a serial run.
+  struct SemanticTask {
+    DifferenceEntry::Kind kind;
+    std::function<std::vector<PresentedDifference>(std::vector<std::string>*)>
+        run;
+  };
+  std::vector<SemanticTask> tasks;
   if (options.check_route_maps) {
     // Several neighbors often share one policy pair (e.g. both uplinks use
     // the same import map); each distinct (name1, name2) pair is diffed
@@ -169,29 +185,52 @@ DiffReport ConfigDiff(const ir::RouterConfig& config1,
     std::set<std::pair<std::string, std::string>> seen_pairs;
     for (const auto& pair : pairing.route_maps) {
       if (!seen_pairs.insert({pair.name1, pair.name2}).second) continue;
-      auto diffs = DiffRouteMapPairImpl(config1, pair.name1, config2,
-                                        pair.name2, &warnings);
-      for (auto& d : diffs) {
-        d.title += " (neighbor " + pair.neighbor.ToString() + ", " +
-                   ToString(pair.direction) + ")";
-      }
-      add_semantic(DifferenceEntry::Kind::kRouteMapSemantic, std::move(diffs));
+      tasks.push_back(
+          {DifferenceEntry::Kind::kRouteMapSemantic,
+           [&config1, &config2, pair](std::vector<std::string>* task_warnings) {
+             auto diffs = DiffRouteMapPairImpl(config1, pair.name1, config2,
+                                               pair.name2, task_warnings);
+             for (auto& d : diffs) {
+               d.title += " (neighbor " + pair.neighbor.ToString() + ", " +
+                          ToString(pair.direction) + ")";
+             }
+             return diffs;
+           }});
     }
     for (const auto& pair : pairing.redistributions) {
-      auto diffs = DiffRouteMapPairImpl(config1, pair.name1, config2,
-                                        pair.name2, &warnings);
-      for (auto& d : diffs) {
-        d.title += " (redistribution of " + ir::ToString(pair.from) +
-                   " into " + ir::ToString(pair.via) + ")";
-      }
-      add_semantic(DifferenceEntry::Kind::kRouteMapSemantic, std::move(diffs));
+      tasks.push_back(
+          {DifferenceEntry::Kind::kRouteMapSemantic,
+           [&config1, &config2, pair](std::vector<std::string>* task_warnings) {
+             auto diffs = DiffRouteMapPairImpl(config1, pair.name1, config2,
+                                               pair.name2, task_warnings);
+             for (auto& d : diffs) {
+               d.title += " (redistribution of " + ir::ToString(pair.from) +
+                          " into " + ir::ToString(pair.via) + ")";
+             }
+             return diffs;
+           }});
     }
   }
   if (options.check_acls) {
     for (const auto& pair : pairing.acls) {
-      add_semantic(DifferenceEntry::Kind::kAclSemantic,
-                   DiffAclPair(config1, config2, pair.name));
+      tasks.push_back(
+          {DifferenceEntry::Kind::kAclSemantic,
+           [&config1, &config2, pair](std::vector<std::string>*) {
+             return DiffAclPair(config1, config2, pair.name);
+           }});
     }
+  }
+
+  std::vector<std::vector<PresentedDifference>> task_results(tasks.size());
+  std::vector<std::vector<std::string>> task_warnings(tasks.size());
+  util::RunParallel(options.num_threads, tasks.size(), [&](std::size_t i) {
+    task_results[i] = tasks[i].run(&task_warnings[i]);
+  });
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    add_semantic(tasks[i].kind, std::move(task_results[i]));
+    warnings.insert(warnings.end(),
+                    std::make_move_iterator(task_warnings[i].begin()),
+                    std::make_move_iterator(task_warnings[i].end()));
   }
   if (options.check_static_routes) {
     add_structural(DiffStaticRoutes(config1, config2));

@@ -13,12 +13,15 @@
 //   --route-map=NAME               Compare only the named route map pair.
 //   --acl=NAME                     Compare only the named ACL pair.
 //   --format=text|json             Output format (default text).
+//   --threads=N                    Worker threads for per-pair diffs
+//                                  (0 = hardware concurrency, 1 = serial).
 //   --quiet                        Only set the exit status.
 //
 // Exit status: 0 when behaviorally equivalent, 2 when differences were
 // found, 1 on usage or parse failures.
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -101,6 +104,8 @@ int Usage() {
          "  --route-map=N   compare only the named route map pair\n"
          "  --acl=N         compare only the named ACL pair\n"
          "  --format=text|json\n"
+         "  --threads=N     worker threads for per-pair diffs\n"
+         "                  (0 = hardware concurrency, 1 = serial)\n"
          "  --quiet         only set the exit status\n"
          "  --batch         treat the two arguments as directories and\n"
          "                  compare files with matching stems pairwise\n";
@@ -188,6 +193,15 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->route_map = value_of("--route-map=");
     } else if (arg.rfind("--acl=", 0) == 0) {
       options->acl = value_of("--acl=");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      std::string value = value_of("--threads=");
+      char* end = nullptr;
+      unsigned long threads = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        std::cerr << "error: invalid thread count '" << value << "'\n";
+        return false;
+      }
+      options->checks.num_threads = static_cast<unsigned>(threads);
     } else if (arg.rfind("--format=", 0) == 0) {
       std::string format = value_of("--format=");
       if (format == "json") {

@@ -1,0 +1,60 @@
+#pragma once
+
+// A small fixed-size worker pool for fanning independent tasks out across
+// threads. Campion's differencing pipeline uses it to run per-pair policy
+// comparisons concurrently: each task owns all of its mutable state (its
+// own BddManager and encoding layout), so the pool needs no shared-state
+// machinery beyond the queue itself.
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace campion::util {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();  // Waits for all queued tasks, then joins.
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues a task. Tasks must not throw; wrap fallible work and capture
+  // errors by side channel (see RunParallel).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;  // Queued + currently executing tasks.
+  bool stop_ = false;
+};
+
+// Resolves a thread-count knob: 0 means "use the hardware concurrency"
+// (never less than 1), any other value is taken as-is.
+unsigned ResolveThreadCount(unsigned requested);
+
+// Runs fn(0) .. fn(n-1), fanning out across `num_threads` workers when
+// num_threads > 1, or inline on the calling thread otherwise. Blocks until
+// all invocations complete. If any invocation throws, the first exception
+// (by task index) is rethrown after all tasks have finished.
+void RunParallel(unsigned num_threads, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace campion::util

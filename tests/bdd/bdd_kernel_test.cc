@@ -1,0 +1,187 @@
+// Edge-case and stress coverage for the rewritten BDD kernel: the
+// open-addressing unique table (growth/rehash canonicity), the lossy
+// computed cache, AddVars interleaved with node construction, short
+// quantifier vectors, terminal-function satisfying assignments, and a
+// randomized ITE-vs-truth-table oracle.
+
+#include "bdd/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace campion::bdd {
+namespace {
+
+TEST(BddKernelTest, AddVarsAfterNodesExist) {
+  BddManager mgr(3);
+  BddRef old_fn = mgr.And(mgr.VarTrue(0), mgr.VarTrue(2));
+  Var first = mgr.AddVars(2);
+  EXPECT_EQ(first, 3u);
+  EXPECT_EQ(mgr.num_vars(), 5u);
+  // Functions built before the extension are unchanged and still canonical.
+  EXPECT_EQ(old_fn, mgr.And(mgr.VarTrue(0), mgr.VarTrue(2)));
+  // New variables compose with old ones; the new var sits below in the order.
+  BddRef mixed = mgr.And(old_fn, mgr.VarTrue(4));
+  EXPECT_EQ(mgr.Support(mixed), (std::vector<Var>{0, 2, 4}));
+  // SatCount respects the extended variable count: 3 fixed bits of 5.
+  EXPECT_EQ(mgr.SatCount(mixed), 4.0);
+  // A second extension after further construction still works.
+  mgr.AddVars(1);
+  EXPECT_EQ(mgr.SatCount(mixed), 8.0);
+}
+
+TEST(BddKernelTest, ExistsWithShortQuantifierVector) {
+  BddManager mgr(6);
+  BddRef f = mgr.And(mgr.And(mgr.VarTrue(1), mgr.VarTrue(3)),
+                     mgr.VarTrue(5));
+  // Quantifier vector shorter than num_vars(): missing entries are false.
+  std::vector<bool> quantified(2, false);
+  quantified[1] = true;
+  BddRef g = mgr.Exists(f, quantified);
+  EXPECT_EQ(g, mgr.And(mgr.VarTrue(3), mgr.VarTrue(5)));
+  // Empty vector quantifies nothing.
+  EXPECT_EQ(mgr.Exists(f, {}), f);
+  // A short vector never touches variables beyond its length.
+  std::vector<bool> all_true(3, true);
+  BddRef h = mgr.Exists(f, all_true);
+  EXPECT_EQ(h, mgr.And(mgr.VarTrue(3), mgr.VarTrue(5)));
+}
+
+TEST(BddKernelTest, SatAssignmentsOnTerminals) {
+  BddManager mgr(4);
+  // False has no satisfying assignment.
+  EXPECT_FALSE(mgr.AnySat(kFalse).has_value());
+  EXPECT_FALSE(mgr.MinSat(kFalse).has_value());
+  // True: AnySat is all-don't-care, MinSat is the all-zero assignment.
+  auto any = mgr.AnySat(kTrue);
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(*any, (Cube{-1, -1, -1, -1}));
+  auto min = mgr.MinSat(kTrue);
+  ASSERT_TRUE(min.has_value());
+  EXPECT_EQ(*min, (Cube{0, 0, 0, 0}));
+  // Zero-variable manager: cubes are empty but present.
+  BddManager empty(0);
+  EXPECT_EQ(empty.AnySat(kTrue), Cube{});
+  EXPECT_EQ(empty.MinSat(kTrue), Cube{});
+  EXPECT_EQ(empty.SatCount(kTrue), 1.0);
+}
+
+TEST(BddKernelTest, UniqueTableRehashPreservesCanonicity) {
+  // Force several rehashes of the open-addressing table (initial capacity
+  // 8192, growth at 50% load) and check functions interned early still
+  // dedupe against rebuilds afterwards.
+  BddManager mgr(24);
+  BddRef early = mgr.And(mgr.VarTrue(0), mgr.VarTrue(23));
+  std::mt19937_64 rng(5);
+  BddRef junk = kFalse;
+  for (int i = 0; i < 400; ++i) {
+    BddRef cube = kTrue;
+    for (Var v = 0; v < 24; ++v) {
+      switch (rng() % 3) {
+        case 0: cube = mgr.And(cube, mgr.VarTrue(v)); break;
+        case 1: cube = mgr.And(cube, mgr.VarFalse(v)); break;
+        default: break;
+      }
+    }
+    junk = mgr.Or(junk, cube);
+  }
+  ASSERT_GT(mgr.ArenaSize(), 8192u);  // The table must have grown.
+  EXPECT_EQ(early, mgr.And(mgr.VarTrue(0), mgr.VarTrue(23)));
+  EXPECT_EQ(mgr.Not(mgr.Not(junk)), junk);
+}
+
+TEST(BddKernelTest, StatsCountersAreCoherent) {
+  BddManager mgr(32);
+  BddStats before = mgr.Stats();
+  EXPECT_GE(before.arena_size, 2u);  // Terminals.
+  BddRef f = kFalse;
+  for (Var v = 0; v < 32; ++v) f = mgr.Xor(f, mgr.VarTrue(v));
+  BddStats after = mgr.Stats();
+  EXPECT_GT(after.arena_size, before.arena_size);
+  EXPECT_GT(after.unique_lookups, before.unique_lookups);
+  EXPECT_GE(after.unique_probes, after.unique_lookups);
+  EXPECT_LE(after.unique_hits, after.unique_lookups);
+  EXPECT_LE(after.cache_hits, after.cache_lookups);
+  EXPECT_GE(after.CacheHitRate(), 0.0);
+  EXPECT_LE(after.CacheHitRate(), 1.0);
+  EXPECT_GE(after.AvgProbeLength(), 1.0);
+  // Repeating an already-computed operation hits the lossy cache.
+  BddRef g = mgr.Not(f);
+  BddStats first = mgr.Stats();
+  EXPECT_EQ(mgr.Not(f), g);
+  BddStats second = mgr.Stats();
+  EXPECT_GT(second.cache_hits, first.cache_hits);
+}
+
+// Randomized oracle: three-argument Ite over random operands must agree
+// with explicit truth-table evaluation for every assignment.
+class BddIteOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddIteOracleTest, IteMatchesTruthTable) {
+  constexpr Var kVars = 13;  // <= 16 per the kernel contract being tested.
+  constexpr std::size_t kRows = std::size_t{1} << kVars;
+  BddManager mgr(kVars);
+  std::mt19937_64 rng(GetParam() * 7919 + 1);
+
+  struct Expr {
+    BddRef bdd;
+    std::vector<bool> table;
+  };
+  std::vector<Expr> pool;
+  // Seed the pool with literals and both terminals.
+  {
+    Expr t{kTrue, std::vector<bool>(kRows, true)};
+    Expr f{kFalse, std::vector<bool>(kRows, false)};
+    pool.push_back(std::move(t));
+    pool.push_back(std::move(f));
+  }
+  for (Var v = 0; v < kVars; ++v) {
+    Expr e;
+    e.bdd = mgr.VarTrue(v);
+    e.table.resize(kRows);
+    for (std::size_t a = 0; a < kRows; ++a) {
+      e.table[a] = (a >> (kVars - 1 - v)) & 1u;
+    }
+    pool.push_back(std::move(e));
+  }
+
+  for (int step = 0; step < 40; ++step) {
+    const Expr& f = pool[rng() % pool.size()];
+    const Expr& g = pool[rng() % pool.size()];
+    const Expr& h = pool[rng() % pool.size()];
+    Expr e;
+    e.bdd = mgr.Ite(f.bdd, g.bdd, h.bdd);
+    e.table.resize(kRows);
+    for (std::size_t a = 0; a < kRows; ++a) {
+      e.table[a] = f.table[a] ? g.table[a] : h.table[a];
+    }
+    // Spot-check satcount every step (cheap) ...
+    std::size_t ones = 0;
+    for (bool b : e.table) ones += b;
+    ASSERT_EQ(mgr.SatCount(e.bdd), static_cast<double>(ones))
+        << "step " << step;
+    pool.push_back(std::move(e));
+  }
+
+  // ... and fully verify the last expression against its table via
+  // evaluation of every assignment.
+  const Expr& final_expr = pool.back();
+  for (std::size_t a = 0; a < kRows; ++a) {
+    BddRef node = final_expr.bdd;
+    while (!mgr.IsTerminal(node)) {
+      Var v = mgr.NodeVar(node);
+      bool bit = (a >> (kVars - 1 - v)) & 1u;
+      node = bit ? mgr.NodeHigh(node) : mgr.NodeLow(node);
+    }
+    ASSERT_EQ(node == kTrue, static_cast<bool>(final_expr.table[a]))
+        << "assignment " << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddIteOracleTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace campion::bdd

@@ -1,0 +1,82 @@
+// The parallel diff pipeline must be invisible in the output: ConfigDiff
+// fans per-pair semantic tasks across a worker pool but merges results in
+// pair-declaration order, so any thread count renders a byte-identical
+// report. These tests pin that guarantee over the src/gen scenario suite.
+
+#include "core/config_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/json_report.h"
+#include "gen/scenarios.h"
+
+namespace campion::core {
+namespace {
+
+DiffOptions WithThreads(unsigned num_threads) {
+  DiffOptions options;
+  options.num_threads = num_threads;
+  return options;
+}
+
+// Renders text and JSON with the given thread count.
+std::string RenderAll(const ir::RouterConfig& config1,
+                      const ir::RouterConfig& config2, unsigned num_threads) {
+  DiffReport report = ConfigDiff(config1, config2, WithThreads(num_threads));
+  return report.Render() + "\n---\n" +
+         ReportToJson(report, config1.hostname, config2.hostname);
+}
+
+void ExpectDeterministic(const gen::RouterPair& pair) {
+  std::string serial = RenderAll(pair.config1, pair.config2, 1);
+  std::string parallel = RenderAll(pair.config1, pair.config2, 8);
+  EXPECT_EQ(serial, parallel) << "pair: " << pair.label;
+}
+
+TEST(ConfigDiffDeterminismTest, UniversityPairsByteIdentical) {
+  gen::UniversityScenario scenario = gen::BuildUniversityScenario();
+  ExpectDeterministic(scenario.core);
+  ExpectDeterministic(scenario.border);
+}
+
+TEST(ConfigDiffDeterminismTest, DataCenterScenarioByteIdentical) {
+  gen::DataCenterScenario scenario = gen::BuildDataCenterScenario();
+  for (const auto& pair : scenario.redundant_pairs) {
+    ExpectDeterministic(pair);
+  }
+  for (const auto& pair : scenario.gateway_pairs) {
+    ExpectDeterministic(pair);
+  }
+  // The 30 replacement pairs are individually small; a prefix keeps the
+  // test fast while still covering the replacement shape.
+  for (std::size_t i = 0; i < scenario.replacements.size() && i < 6; ++i) {
+    ExpectDeterministic(scenario.replacements[i]);
+  }
+}
+
+TEST(ConfigDiffDeterminismTest, ZeroMeansHardwareConcurrency) {
+  // num_threads=0 resolves to the hardware thread count and must also
+  // match the serial rendering.
+  gen::UniversityScenario scenario = gen::BuildUniversityScenario();
+  std::string serial =
+      RenderAll(scenario.core.config1, scenario.core.config2, 1);
+  std::string pooled =
+      RenderAll(scenario.core.config1, scenario.core.config2, 0);
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(ConfigDiffDeterminismTest, RepeatedParallelRunsAgree) {
+  // Thread scheduling varies run to run; the report must not.
+  gen::UniversityScenario scenario = gen::BuildUniversityScenario();
+  std::string first =
+      RenderAll(scenario.border.config1, scenario.border.config2, 8);
+  for (int run = 0; run < 3; ++run) {
+    EXPECT_EQ(first,
+              RenderAll(scenario.border.config1, scenario.border.config2, 8));
+  }
+}
+
+}  // namespace
+}  // namespace campion::core
