@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -20,6 +21,10 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_report.h"
 
 namespace campion::benchutil {
 
@@ -58,6 +63,34 @@ class BenchMetrics {
  private:
   std::vector<std::pair<std::string, double>> values_;
 };
+
+// Runs `fn` with tracing enabled and folds the result into BenchMetrics:
+// per-phase wall-clock totals as "phase_<span name>_seconds" and the obs
+// counter snapshot as "obs_<counter, dots flattened>". This is how the
+// BENCH_*.json trajectory files gain per-phase breakdowns — the same
+// spans/counters `campion --trace_out` reports (docs/trace_format.md).
+// Tracing is switched off again before returning so the google-benchmark
+// loops that follow run uninstrumented.
+template <typename Fn>
+inline void RecordTracedRun(Fn&& fn) {
+  obs::ResetThreadTrace();
+  obs::MetricsRegistry::Instance().Reset();
+  obs::SetEnabled(true);
+  fn();
+  obs::SetEnabled(false);
+  auto& metrics = BenchMetrics::Instance();
+  std::vector<obs::Span> spans = obs::TakeThreadSpans();
+  for (const auto& phase : obs::PhaseTotals(spans)) {
+    metrics.Record("phase_" + phase.name + "_seconds",
+                   static_cast<double>(phase.total_ns) / 1e9);
+  }
+  for (const auto& [name, value] :
+       obs::MetricsRegistry::Instance().Snapshot()) {
+    std::string flat = name;
+    std::replace(flat.begin(), flat.end(), '.', '_');
+    metrics.Record("obs_" + flat, value);
+  }
+}
 
 inline void PrintHeader(const std::string& title) {
   std::cout << "\n==================================================\n"

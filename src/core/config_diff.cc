@@ -11,6 +11,9 @@
 #include "core/structural_diff.h"
 #include "encode/packet.h"
 #include "encode/route_adv.h"
+#include "obs/bdd_metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace campion::core {
@@ -49,6 +52,8 @@ std::vector<PresentedDifference> DiffRouteMapPairImpl(
   ir::RouteMap fallback = PassThroughMap();
   const ir::RouteMap* map1 = ResolveMap(config1, name1, fallback, warnings);
   const ir::RouteMap* map2 = ResolveMap(config2, name2, fallback, warnings);
+  obs::ScopedSpan span("route_map_pair",
+                       map1->name + " vs " + map2->name);
 
   // One manager per pair keeps arenas small and lifetimes obvious.
   bdd::BddManager mgr;
@@ -65,6 +70,10 @@ std::vector<PresentedDifference> DiffRouteMapPairImpl(
     presented.push_back(PresentRouteMapDifference(
         layout, diff, config1, config2, map1->name, map2->name));
   }
+  span.AddAttr("differences", static_cast<double>(presented.size()));
+  span.AddAttr("bdd_nodes", static_cast<double>(mgr.ArenaSize()));
+  obs::Count("diff.route_map_pairs");
+  obs::RecordBddStats(mgr.Stats());
   return presented;
 }
 
@@ -123,6 +132,7 @@ std::vector<PresentedDifference> DiffAclPair(const ir::RouterConfig& config1,
   const ir::Acl* acl1 = config1.FindAcl(name);
   const ir::Acl* acl2 = config2.FindAcl(name);
   if (acl1 == nullptr || acl2 == nullptr) return {};
+  obs::ScopedSpan span("acl_pair", name);
 
   bdd::BddManager mgr;
   encode::PacketLayout layout(mgr);
@@ -133,15 +143,29 @@ std::vector<PresentedDifference> DiffAclPair(const ir::RouterConfig& config1,
     presented.push_back(
         PresentAclDifference(layout, diff, *acl1, *acl2, config1, config2));
   }
+  span.AddAttr("differences", static_cast<double>(presented.size()));
+  span.AddAttr("bdd_nodes", static_cast<double>(mgr.ArenaSize()));
+  obs::Count("diff.acl_pairs");
+  obs::RecordBddStats(mgr.Stats());
   return presented;
 }
 
 DiffReport ConfigDiff(const ir::RouterConfig& config1,
                       const ir::RouterConfig& config2,
                       const DiffOptions& options) {
+  obs::ScopedSpan pipeline_span("config_diff",
+                                config1.hostname + " vs " + config2.hostname);
   DiffReport report;
   std::vector<std::string> warnings;
-  PolicyPairing pairing = MatchPolicies(config1, config2);
+  PolicyPairing pairing;
+  {
+    obs::ScopedSpan span("match_policies");
+    pairing = MatchPolicies(config1, config2);
+    span.AddAttr("route_map_pairs",
+                 static_cast<double>(pairing.route_maps.size()));
+    span.AddAttr("acl_pairs", static_cast<double>(pairing.acls.size()));
+    span.AddAttr("unmatched", static_cast<double>(pairing.unmatched.size()));
+  }
 
   auto add_semantic = [&](DifferenceEntry::Kind kind,
                           std::vector<PresentedDifference> diffs) {
@@ -223,30 +247,44 @@ DiffReport ConfigDiff(const ir::RouterConfig& config1,
 
   std::vector<std::vector<PresentedDifference>> task_results(tasks.size());
   std::vector<std::vector<std::string>> task_warnings(tasks.size());
+  // Each task's spans are captured on whichever thread ran it and attached
+  // back below in task-declaration order, so the trace tree — like the
+  // report — is structurally identical at every thread count.
+  std::vector<std::vector<obs::Span>> task_spans(tasks.size());
   util::RunParallel(options.num_threads, tasks.size(), [&](std::size_t i) {
+    obs::TaskCapture capture;
     task_results[i] = tasks[i].run(&task_warnings[i]);
+    task_spans[i] = capture.Finish();
   });
   for (std::size_t i = 0; i < tasks.size(); ++i) {
+    obs::AttachSpans(std::move(task_spans[i]));
     add_semantic(tasks[i].kind, std::move(task_results[i]));
     warnings.insert(warnings.end(),
                     std::make_move_iterator(task_warnings[i].begin()),
                     std::make_move_iterator(task_warnings[i].end()));
   }
-  if (options.check_static_routes) {
-    add_structural(DiffStaticRoutes(config1, config2));
-  }
-  if (options.check_connected_routes) {
-    add_structural(DiffConnectedRoutes(config1, config2));
-  }
-  if (options.check_ospf) {
-    add_structural(DiffOspf(config1, config2, pairing.interfaces));
-  }
-  if (options.check_bgp_properties) {
-    add_structural(DiffBgpProperties(config1, config2));
-  }
-  if (options.check_admin_distances) {
-    add_structural(DiffAdminDistances(config1, config2));
-  }
+  auto structural_check = [&](bool enabled, const char* detail,
+                              const std::function<
+                                  std::vector<StructuralDifference>()>& run) {
+    if (!enabled) return;
+    obs::ScopedSpan span("structural", detail);
+    std::vector<StructuralDifference> diffs = run();
+    span.AddAttr("differences", static_cast<double>(diffs.size()));
+    obs::Count("diff.structural_differences",
+               static_cast<double>(diffs.size()));
+    add_structural(std::move(diffs));
+  };
+  structural_check(options.check_static_routes, "static",
+                   [&] { return DiffStaticRoutes(config1, config2); });
+  structural_check(options.check_connected_routes, "connected",
+                   [&] { return DiffConnectedRoutes(config1, config2); });
+  structural_check(options.check_ospf, "ospf", [&] {
+    return DiffOspf(config1, config2, pairing.interfaces);
+  });
+  structural_check(options.check_bgp_properties, "bgp",
+                   [&] { return DiffBgpProperties(config1, config2); });
+  structural_check(options.check_admin_distances, "admin",
+                   [&] { return DiffAdminDistances(config1, config2); });
 
   for (const auto& note : pairing.unmatched) {
     DifferenceEntry entry;

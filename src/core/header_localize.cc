@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace campion::core {
 namespace {
 
@@ -129,15 +132,21 @@ HeaderLocalizeResult HeaderLocalize(bdd::BddManager& mgr, bdd::BddRef set,
                                     std::vector<util::PrefixRange> ranges,
                                     const RangeToBdd& range_to_bdd,
                                     util::PrefixRange universe) {
+  obs::ScopedSpan span("header_localize");
+  span.AddAttr("ranges", static_cast<double>(ranges.size()));
   PrefixRangeDag dag(std::move(ranges), universe);
   Localizer localizer(mgr, dag, range_to_bdd);
   // Work within the universe: S may be a complement reaching outside it.
   bdd::BddRef clipped = mgr.And(set, range_to_bdd(dag.label(dag.root())));
   HeaderLocalizeResult result;
+  obs::Count("localize.calls");
   if (clipped == bdd::kFalse) return result;
   for (const auto& term : localizer.GetMatch(clipped, dag.root())) {
     FlattenInto(term, result.terms);
   }
+  span.AddAttr("dag_nodes", static_cast<double>(dag.size()));
+  span.AddAttr("terms", static_cast<double>(result.terms.size()));
+  obs::Count("localize.terms", static_cast<double>(result.terms.size()));
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "core/json_report.h"
 
+#include "util/json.h"
+
 namespace campion::core {
 namespace {
 
@@ -30,26 +32,7 @@ std::string RangeArray(const std::vector<util::PrefixRange>& ranges) {
 }  // namespace
 
 std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 8);
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return util::JsonEscape(text);
 }
 
 std::string ReportToJson(const DiffReport& report, const std::string& router1,

@@ -1,5 +1,8 @@
 #include "core/semantic_diff.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace campion::core {
 namespace {
 
@@ -29,6 +32,7 @@ std::vector<RouteMapPathClass> BuildRouteMapClasses(
     encode::RouteAdvLayout& layout, encode::PolicyEncoder& encoder,
     const ir::RouteMap& map) {
   bdd::BddManager& mgr = layout.manager();
+  obs::ScopedSpan span("encode", map.name);
 
   // A pending state: advertisements that have reached the current clause
   // with `sets` already applied by earlier fall-through terms.
@@ -91,6 +95,10 @@ std::vector<RouteMapPathClass> BuildRouteMapClasses(
     cls.is_default = true;
     classes.push_back(std::move(cls));
   }
+  span.AddAttr("classes", static_cast<double>(classes.size()));
+  span.AddAttr("clauses", static_cast<double>(map.clauses.size()));
+  span.AddAttr("bdd_vars", static_cast<double>(mgr.num_vars()));
+  obs::Count("encode.route_map_classes", static_cast<double>(classes.size()));
   return classes;
 }
 
@@ -107,21 +115,31 @@ std::vector<RouteMapDifference> SemanticDiffRouteMaps(
       BuildRouteMapClasses(layout, encoder2, map2);
 
   std::vector<RouteMapDifference> differences;
-  for (const auto& c1 : classes1) {
-    for (const auto& c2 : classes2) {
-      if (c1.action == c2.action) continue;
-      bdd::BddRef overlap = mgr.And(c1.predicate, c2.predicate);
-      if (overlap == bdd::kFalse) continue;
-      differences.push_back(
-          {overlap, c1.action, c2.action, c1.text, c2.text});
+  {
+    obs::ScopedSpan span("class_intersect",
+                         map1.name + " vs " + map2.name);
+    for (const auto& c1 : classes1) {
+      for (const auto& c2 : classes2) {
+        if (c1.action == c2.action) continue;
+        bdd::BddRef overlap = mgr.And(c1.predicate, c2.predicate);
+        if (overlap == bdd::kFalse) continue;
+        differences.push_back(
+            {overlap, c1.action, c2.action, c1.text, c2.text});
+      }
     }
+    span.AddAttr("class_pairs",
+                 static_cast<double>(classes1.size() * classes2.size()));
+    span.AddAttr("differences", static_cast<double>(differences.size()));
   }
+  obs::Count("diff.route_map_differences",
+             static_cast<double>(differences.size()));
   return differences;
 }
 
 std::vector<AclPathClass> BuildAclClasses(encode::PacketLayout& layout,
                                           const ir::Acl& acl) {
   bdd::BddManager& mgr = layout.manager();
+  obs::ScopedSpan span("encode", acl.name);
   std::vector<AclPathClass> classes;
   bdd::BddRef remaining = mgr.True();
   for (const auto& line : acl.lines) {
@@ -135,6 +153,10 @@ std::vector<AclPathClass> BuildAclClasses(encode::PacketLayout& layout,
     classes.push_back({remaining, ir::LineAction::kDeny,
                        "<implicit deny at end of ACL>", true});
   }
+  span.AddAttr("classes", static_cast<double>(classes.size()));
+  span.AddAttr("lines", static_cast<double>(acl.lines.size()));
+  span.AddAttr("bdd_vars", static_cast<double>(mgr.num_vars()));
+  obs::Count("encode.acl_classes", static_cast<double>(classes.size()));
   return classes;
 }
 
@@ -179,15 +201,22 @@ std::vector<AclDifference> SemanticDiffAcls(encode::PacketLayout& layout,
   std::vector<const AclPathClass*> relevant2 = touched(classes2);
 
   std::vector<AclDifference> differences;
-  for (const AclPathClass* c1 : relevant1) {
-    for (const AclPathClass* c2 : relevant2) {
-      if (c1->action == c2->action) continue;
-      bdd::BddRef overlap = mgr.And(c1->predicate, c2->predicate);
-      if (overlap == bdd::kFalse) continue;
-      differences.push_back(
-          {overlap, c1->action, c2->action, c1->text, c2->text});
+  {
+    obs::ScopedSpan span("class_intersect", acl1.name + " vs " + acl2.name);
+    for (const AclPathClass* c1 : relevant1) {
+      for (const AclPathClass* c2 : relevant2) {
+        if (c1->action == c2->action) continue;
+        bdd::BddRef overlap = mgr.And(c1->predicate, c2->predicate);
+        if (overlap == bdd::kFalse) continue;
+        differences.push_back(
+            {overlap, c1->action, c2->action, c1->text, c2->text});
+      }
     }
+    span.AddAttr("class_pairs", static_cast<double>(relevant1.size() *
+                                                    relevant2.size()));
+    span.AddAttr("differences", static_cast<double>(differences.size()));
   }
+  obs::Count("diff.acl_differences", static_cast<double>(differences.size()));
   return differences;
 }
 

@@ -1,9 +1,14 @@
 #include "encode/policy_encoder.h"
 
+#include "obs/metrics.h"
+
 namespace campion::encode {
 
 bdd::BddRef PolicyEncoder::PrefixListPermits(const ir::PrefixList& list) {
   bdd::BddManager& mgr = layout_.manager();
+  obs::Count("encode.prefix_lists");
+  obs::Count("encode.prefix_list_entries",
+             static_cast<double>(list.entries.size()));
   // First match wins: walk entries in order, tracking the space not yet
   // matched by an earlier entry.
   bdd::BddRef permitted = mgr.False();
@@ -20,6 +25,7 @@ bdd::BddRef PolicyEncoder::PrefixListPermits(const ir::PrefixList& list) {
 
 bdd::BddRef PolicyEncoder::CommunityListPermits(const ir::CommunityList& list) {
   bdd::BddManager& mgr = layout_.manager();
+  obs::Count("encode.community_lists");
   bdd::BddRef permitted = mgr.False();
   bdd::BddRef remaining = mgr.True();
   for (const auto& entry : list.entries) {

@@ -1,17 +1,27 @@
 #include "frontend/loader.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "cisco/cisco_parser.h"
 #include "juniper/juniper_parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace campion::frontend {
 namespace {
 
 bool ContainsToken(const std::string& text, const std::string& token) {
   return text.find(token) != std::string::npos;
+}
+
+std::size_t CountLines(const std::string& text) {
+  std::size_t newlines =
+      static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+  // A final line without a trailing newline still counts.
+  return newlines + (!text.empty() && text.back() != '\n' ? 1 : 0);
 }
 
 }  // namespace
@@ -41,6 +51,7 @@ ir::Vendor DetectVendor(const std::string& text) {
 
 LoadResult LoadConfig(const std::string& text, const std::string& filename,
                       ir::Vendor vendor) {
+  obs::ScopedSpan span("parse", filename);
   if (vendor == ir::Vendor::kUnknown) {
     vendor = DetectVendor(text);
     if (vendor == ir::Vendor::kUnknown) {
@@ -48,6 +59,12 @@ LoadResult LoadConfig(const std::string& text, const std::string& filename,
                                ": cannot detect configuration format");
     }
   }
+  std::size_t lines = CountLines(text);
+  span.AddAttr("lines", static_cast<double>(lines));
+  span.AddAttr("bytes", static_cast<double>(text.size()));
+  obs::Count("parse.files");
+  obs::Count("parse.lines", static_cast<double>(lines));
+  obs::Count("parse.bytes", static_cast<double>(text.size()));
   LoadResult result;
   if (vendor == ir::Vendor::kCisco) {
     auto parsed = cisco::ParseCiscoConfig(text, filename);
@@ -58,6 +75,7 @@ LoadResult LoadConfig(const std::string& text, const std::string& filename,
     result.config = std::move(parsed.config);
     result.diagnostics = std::move(parsed.diagnostics);
   }
+  span.AddAttr("diagnostics", static_cast<double>(result.diagnostics.size()));
   return result;
 }
 

@@ -1,0 +1,34 @@
+#pragma once
+
+// Exports a BddManager's kernel counters (bdd::BddStats) into the metrics
+// registry. Each differencing task owns its own manager; calling this once
+// when the task finishes accumulates the kernel's work across every pair
+// of the run, so `--trace_out` / `--stats` can report unique-table and
+// ITE-cache behavior for the whole pipeline. Header-only so obs does not
+// link against the BDD library.
+
+#include "bdd/bdd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace campion::obs {
+
+inline void RecordBddStats(const bdd::BddStats& stats) {
+  if (!Enabled()) return;
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.Add("bdd.managers", 1.0);
+  registry.Add("bdd.arena_nodes", static_cast<double>(stats.arena_size));
+  registry.Add("bdd.unique_lookups",
+               static_cast<double>(stats.unique_lookups));
+  registry.Add("bdd.unique_probes", static_cast<double>(stats.unique_probes));
+  registry.Add("bdd.unique_hits", static_cast<double>(stats.unique_hits));
+  registry.Add("bdd.cache_lookups", static_cast<double>(stats.cache_lookups));
+  registry.Add("bdd.cache_hits", static_cast<double>(stats.cache_hits));
+  registry.Max("bdd.unique_table_peak_slots",
+               static_cast<double>(stats.unique_capacity));
+  registry.Max("bdd.cache_peak_slots",
+               static_cast<double>(stats.cache_capacity));
+  registry.Max("bdd.arena_peak_nodes", static_cast<double>(stats.arena_size));
+}
+
+}  // namespace campion::obs

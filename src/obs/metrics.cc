@@ -1,0 +1,45 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace campion::obs {
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::Add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_[name] += delta;
+}
+
+void MetricsRegistry::Max(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = values_.emplace(name, value);
+  if (!inserted) it->second = std::max(it->second, value);
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {values_.begin(), values_.end()};  // std::map is already name-sorted.
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+}
+
+void Count(const std::string& name, double delta) {
+  if (!Enabled()) return;
+  MetricsRegistry::Instance().Add(name, delta);
+}
+
+void MaxGauge(const std::string& name, double value) {
+  if (!Enabled()) return;
+  MetricsRegistry::Instance().Max(name, value);
+}
+
+}  // namespace campion::obs

@@ -1,0 +1,53 @@
+#pragma once
+
+// A process-wide registry of named numeric metrics, the companion to the
+// span tree in obs/trace.h. Counters accumulate deltas and watermarks keep
+// maxima — both are order-independent, so concurrent updates from the
+// worker pool produce the same snapshot regardless of scheduling, keeping
+// `--trace_out` deterministic in everything but the timing values.
+//
+// Updates are coarse-grained by design: the BDD kernel keeps its own plain
+// counters (bdd::BddStats) and exports them here once per differencing
+// task (obs/bdd_metrics.h), parsers record once per file, and so on. A
+// mutex-protected map is therefore plenty; nothing here sits on a hot
+// path. As with spans, every entry point is a no-op while tracing is
+// disabled.
+//
+// Counter naming: dotted lowercase paths, "<subsystem>.<counter>"
+// (e.g. "bdd.cache_hits", "parse.lines"). docs/trace_format.md documents
+// the stable vocabulary.
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace campion::obs {
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  // Adds `delta` to the named counter (creating it at zero).
+  void Add(const std::string& name, double delta);
+  // Raises the named watermark to at least `value`.
+  void Max(const std::string& name, double value);
+
+  // All metrics, sorted by name.
+  std::vector<std::pair<std::string, double>> Snapshot() const;
+
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, double> values_;
+};
+
+// Convenience wrappers, gated on obs::Enabled().
+void Count(const std::string& name, double delta = 1.0);
+void MaxGauge(const std::string& name, double value);
+
+}  // namespace campion::obs

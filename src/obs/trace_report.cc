@@ -1,0 +1,167 @@
+#include "obs/trace_report.h"
+
+#include <cstdio>
+#include <string>
+
+#include "util/json.h"
+#include "util/text_table.h"
+
+namespace campion::obs {
+namespace {
+
+std::string Quoted(const std::string& text) {
+  return "\"" + util::JsonEscape(text) + "\"";
+}
+
+void SpanToJson(const Span& span, int indent, std::string& out) {
+  std::string pad(static_cast<std::size_t>(indent), ' ');
+  out += pad + "{\n";
+  out += pad + "  \"name\": " + Quoted(span.name) + ",\n";
+  if (!span.detail.empty()) {
+    out += pad + "  \"detail\": " + Quoted(span.detail) + ",\n";
+  }
+  out += pad + "  \"start_ns\": " + std::to_string(span.start_ns) + ",\n";
+  out += pad + "  \"duration_ns\": " + std::to_string(span.duration_ns) +
+         ",\n";
+  if (!span.attrs.empty()) {
+    out += pad + "  \"attrs\": {";
+    for (std::size_t i = 0; i < span.attrs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Quoted(span.attrs[i].first) + ": " +
+             util::JsonNumber(span.attrs[i].second);
+    }
+    out += "},\n";
+  }
+  out += pad + "  \"children\": [";
+  for (std::size_t i = 0; i < span.children.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    SpanToJson(span.children[i], indent + 4, out);
+  }
+  out += span.children.empty() ? "]\n" : "\n" + pad + "  ]\n";
+  out += pad + "}";
+}
+
+void AccumulatePhases(const Span& span, std::vector<PhaseTotal>& totals) {
+  PhaseTotal* total = nullptr;
+  for (auto& existing : totals) {
+    if (existing.name == span.name) {
+      total = &existing;
+      break;
+    }
+  }
+  if (total == nullptr) {
+    totals.push_back({span.name, 0, 0, 0});
+    total = &totals.back();
+  }
+  std::uint64_t child_ns = 0;
+  for (const Span& child : span.children) child_ns += child.duration_ns;
+  total->count += 1;
+  total->total_ns += span.duration_ns;
+  total->self_ns +=
+      span.duration_ns > child_ns ? span.duration_ns - child_ns : 0;
+  for (const Span& child : span.children) AccumulatePhases(child, totals);
+}
+
+std::string Milliseconds(std::uint64_t ns) {
+  char buffer[32];
+  snprintf(buffer, sizeof(buffer), "%.3f", static_cast<double>(ns) / 1e6);
+  return buffer;
+}
+
+std::string MetricValue(double value) { return util::JsonNumber(value); }
+
+// Looks up a metric by name; returns 0 when absent.
+double Metric(const std::vector<std::pair<std::string, double>>& metrics,
+              const std::string& name) {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return value;
+  }
+  return 0.0;
+}
+
+void StructureLines(const Span& span, int depth, std::string& out) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += span.name;
+  if (!span.detail.empty()) out += " [" + span.detail + "]";
+  out += "\n";
+  for (const Span& child : span.children) {
+    StructureLines(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string TraceToJson(
+    const std::vector<Span>& roots,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::string out = "{\n";
+  out += "  \"campion_trace_version\": 1,\n";
+  out += "  \"spans\": [";
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    SpanToJson(roots[i], 4, out);
+  }
+  out += roots.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    " + Quoted(metrics[i].first) + ": " +
+           util::JsonNumber(metrics[i].second);
+  }
+  out += metrics.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::vector<PhaseTotal> PhaseTotals(const std::vector<Span>& roots) {
+  std::vector<PhaseTotal> totals;
+  for (const Span& root : roots) AccumulatePhases(root, totals);
+  return totals;
+}
+
+std::string RenderStatsSummary(
+    const std::vector<Span>& roots,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::string out = "Phase timings (wall clock, aggregated by span name):\n";
+  util::TextTable phases({"Phase", "Count", "Total (ms)", "Self (ms)"});
+  for (const PhaseTotal& total : PhaseTotals(roots)) {
+    phases.AddRow({total.name, std::to_string(total.count),
+                   Milliseconds(total.total_ns),
+                   Milliseconds(total.self_ns)});
+  }
+  out += phases.Render();
+
+  util::TextTable table({"Metric", "Value"});
+  for (const auto& [name, value] : metrics) {
+    table.AddRow({name, MetricValue(value)});
+  }
+  // Derived BDD rates, when the raw counters were collected.
+  double cache_lookups = Metric(metrics, "bdd.cache_lookups");
+  if (cache_lookups > 0) {
+    char buffer[32];
+    snprintf(buffer, sizeof(buffer), "%.4f",
+             Metric(metrics, "bdd.cache_hits") / cache_lookups);
+    table.AddRow({"bdd.cache_hit_rate (derived)", buffer});
+  }
+  double unique_lookups = Metric(metrics, "bdd.unique_lookups");
+  if (unique_lookups > 0) {
+    char buffer[32];
+    snprintf(buffer, sizeof(buffer), "%.4f",
+             Metric(metrics, "bdd.unique_hits") / unique_lookups);
+    table.AddRow({"bdd.unique_hit_rate (derived)", buffer});
+    snprintf(buffer, sizeof(buffer), "%.4f",
+             Metric(metrics, "bdd.unique_probes") / unique_lookups);
+    table.AddRow({"bdd.unique_avg_probe_len (derived)", buffer});
+  }
+  out += "\nMetrics (counters and watermarks):\n";
+  out += table.Render();
+  return out;
+}
+
+std::string TraceStructure(const std::vector<Span>& roots) {
+  std::string out;
+  for (const Span& root : roots) StructureLines(root, 0, out);
+  return out;
+}
+
+}  // namespace campion::obs

@@ -1,0 +1,46 @@
+#pragma once
+
+// Rendering of collected traces: the machine-readable JSON document behind
+// `--trace_out` (schema in docs/trace_format.md), the human-readable
+// summary tables behind `--stats`, and the per-phase aggregations the
+// bench binaries record into BENCH_*.json.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace campion::obs {
+
+// Serializes the span forest plus a metrics snapshot as the versioned JSON
+// document documented in docs/trace_format.md.
+std::string TraceToJson(
+    const std::vector<Span>& roots,
+    const std::vector<std::pair<std::string, double>>& metrics);
+
+// Totals aggregated per span name across the whole forest, every depth
+// included, in first-appearance order (deterministic for a deterministic
+// tree).
+struct PhaseTotal {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  // Sum of span durations.
+  std::uint64_t self_ns = 0;   // Durations minus direct children's.
+};
+std::vector<PhaseTotal> PhaseTotals(const std::vector<Span>& roots);
+
+// The `--stats` summary: a phase-timing table and a metrics table
+// (rendered with util::TextTable), plus derived BDD rates when the
+// underlying counters are present.
+std::string RenderStatsSummary(
+    const std::vector<Span>& roots,
+    const std::vector<std::pair<std::string, double>>& metrics);
+
+// Structure-only view of the forest (names, details, nesting — no timings
+// or attrs): one span per line, two-space indentation per level. This is
+// the part of a trace that is guaranteed byte-identical across
+// `--threads` values; the determinism tests compare it.
+std::string TraceStructure(const std::vector<Span>& roots);
+
+}  // namespace campion::obs

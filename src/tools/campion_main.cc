@@ -4,7 +4,7 @@
 //
 //   campion [options] <config1> <config2>
 //
-// Options:
+// Options (docs/cli.md is the authoritative reference):
 //   --vendor1=cisco|juniper|auto   Format of the first config (default auto)
 //   --vendor2=cisco|juniper|auto   Format of the second config
 //   --checks=LIST                  Comma list of checks to run; default all.
@@ -15,7 +15,14 @@
 //   --format=text|json             Output format (default text).
 //   --threads=N                    Worker threads for per-pair diffs
 //                                  (0 = hardware concurrency, 1 = serial).
+//   --trace_out=FILE               Write a JSON trace (phase spans + metrics,
+//                                  see docs/trace_format.md) to FILE.
+//   --stats                        Print a phase-timing and metrics summary
+//                                  to stderr after the report.
+//   --batch                        Treat the two arguments as directories and
+//                                  compare files with matching stems pairwise.
 //   --quiet                        Only set the exit status.
+//   --help                         Print usage and exit 0.
 //
 // Exit status: 0 when behaviorally equivalent, 2 when differences were
 // found, 1 on usage or parse failures.
@@ -24,6 +31,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -31,6 +39,9 @@
 #include "core/config_diff.h"
 #include "core/json_report.h"
 #include "frontend/loader.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_report.h"
 
 namespace {
 
@@ -42,6 +53,8 @@ struct Options {
   campion::core::DiffOptions checks;
   std::string route_map;
   std::string acl;
+  std::string trace_out;  // Empty = no trace file.
+  bool stats = false;
   bool json = false;
   bool quiet = false;
   // Batch mode: the two positional arguments are directories; files with
@@ -94,9 +107,8 @@ bool ParseChecks(const std::string& list, campion::core::DiffOptions* checks) {
   return true;
 }
 
-int Usage() {
-  std::cerr
-      << "usage: campion [options] <config1> <config2>\n"
+void PrintUsage(std::ostream& out) {
+  out << "usage: campion [options] <config1> <config2>\n"
          "  --vendor1=cisco|juniper|auto  format of config1 (default auto)\n"
          "  --vendor2=cisco|juniper|auto  format of config2\n"
          "  --checks=LIST   comma list: route-maps,acls,static,connected,\n"
@@ -106,9 +118,19 @@ int Usage() {
          "  --format=text|json\n"
          "  --threads=N     worker threads for per-pair diffs\n"
          "                  (0 = hardware concurrency, 1 = serial)\n"
-         "  --quiet         only set the exit status\n"
+         "  --trace_out=F   write a JSON trace of the run (phase spans +\n"
+         "                  metrics, docs/trace_format.md) to file F\n"
+         "  --stats         print a phase-timing and metrics summary to\n"
+         "                  stderr after the report\n"
          "  --batch         treat the two arguments as directories and\n"
-         "                  compare files with matching stems pairwise\n";
+         "                  compare files with matching stems pairwise\n"
+         "  --quiet         only set the exit status\n"
+         "  --help          print this message and exit 0\n"
+         "exit status: 0 equivalent, 2 differences found, 1 error\n";
+}
+
+int Usage() {
+  PrintUsage(std::cerr);
   return 1;
 }
 
@@ -176,14 +198,18 @@ int RunBatch(const Options& options) {
   return differing == 0 ? 0 : 2;
 }
 
-bool ParseArgs(int argc, char** argv, Options* options) {
+bool ParseArgs(int argc, char** argv, Options* options, int* exit_code) {
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto value_of = [&](const char* flag) -> std::string {
       return arg.substr(std::strlen(flag));
     };
-    if (arg.rfind("--vendor1=", 0) == 0) {
+    if (arg == "--help") {
+      PrintUsage(std::cout);
+      *exit_code = 0;
+      return false;
+    } else if (arg.rfind("--vendor1=", 0) == 0) {
       options->vendor1 = ParseVendor(value_of("--vendor1="));
     } else if (arg.rfind("--vendor2=", 0) == 0) {
       options->vendor2 = ParseVendor(value_of("--vendor2="));
@@ -202,6 +228,14 @@ bool ParseArgs(int argc, char** argv, Options* options) {
         return false;
       }
       options->checks.num_threads = static_cast<unsigned>(threads);
+    } else if (arg.rfind("--trace_out=", 0) == 0) {
+      options->trace_out = value_of("--trace_out=");
+      if (options->trace_out.empty()) {
+        std::cerr << "error: --trace_out needs a file path\n";
+        return false;
+      }
+    } else if (arg == "--stats") {
+      options->stats = true;
     } else if (arg.rfind("--format=", 0) == 0) {
       std::string format = value_of("--format=");
       if (format == "json") {
@@ -227,11 +261,28 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   return true;
 }
 
-}  // namespace
+// Emits the collected trace (file and/or stderr summary). The report has
+// already been written to stdout, so tracing can never perturb it. Returns
+// false when the trace file cannot be written.
+bool EmitObservability(const Options& options) {
+  if (!campion::obs::Enabled()) return true;
+  std::vector<campion::obs::Span> spans = campion::obs::TakeThreadSpans();
+  auto metrics = campion::obs::MetricsRegistry::Instance().Snapshot();
+  if (options.stats) {
+    std::cerr << campion::obs::RenderStatsSummary(spans, metrics);
+  }
+  if (!options.trace_out.empty()) {
+    std::ofstream file(options.trace_out);
+    if (!file) {
+      std::cerr << "error: cannot write " << options.trace_out << "\n";
+      return false;
+    }
+    file << campion::obs::TraceToJson(spans, metrics);
+  }
+  return true;
+}
 
-int main(int argc, char** argv) {
-  Options options;
-  if (!ParseArgs(argc, argv, &options)) return Usage();
+int Run(const Options& options) {
   if (options.batch) return RunBatch(options);
 
   campion::frontend::LoadResult loaded1;
@@ -282,4 +333,20 @@ int main(int argc, char** argv) {
     }
   }
   return report.Equivalent() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  int exit_code = 1;
+  if (!ParseArgs(argc, argv, &options, &exit_code)) {
+    return exit_code == 0 ? 0 : Usage();
+  }
+  if (!options.trace_out.empty() || options.stats) {
+    campion::obs::SetEnabled(true);
+  }
+  int status = Run(options);
+  if (!EmitObservability(options)) return 1;
+  return status;
 }

@@ -1,0 +1,40 @@
+#include "util/json.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace campion::util {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace campion::util

@@ -1,0 +1,21 @@
+#pragma once
+
+// Minimal JSON emission helpers shared by the report writers (core's diff
+// reports, obs's trace files, bench's metric dumps). Emission only — the
+// repo deliberately has no general JSON parser; tests that need to read
+// JSON back carry their own small reader.
+
+#include <string>
+
+namespace campion::util {
+
+// Escapes a string for embedding in a JSON string literal (quotes,
+// backslashes, control characters).
+std::string JsonEscape(const std::string& text);
+
+// Formats a double the way our JSON files spell numbers: integral values
+// without a decimal point (counters stay grep-friendly), everything else
+// via the default ostream formatting.
+std::string JsonNumber(double value);
+
+}  // namespace campion::util

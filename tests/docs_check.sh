@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# docs_check: keeps the documentation honest.
+#
+#   1. Extracts every fenced ```sh block from README.md and docs/*.md and
+#      runs it line-by-line against the built tree. A line passes when it
+#      exits 0 or 2 (2 is the CLI's "differences found" status). Blocks
+#      preceded by an HTML comment `<!-- docs-check: skip -->` are not run
+#      (use it for illustrative output or heavy commands like full builds).
+#      Occurrences of `build/` in a command resolve to the actual build
+#      directory, so docs can show the conventional layout.
+#   2. Cross-checks docs/cli.md against `campion --help`: every flag the
+#      binary advertises must be documented, and every flag the manual
+#      documents must exist.
+#
+# Usage: docs_check.sh <source_dir> <build_dir> <campion_binary>
+
+set -u
+
+SRC_DIR=$1
+BUILD_DIR=$2
+CAMPION=$3
+
+failures=0
+
+# Fenced blocks run in a scratch directory that mirrors the repo layout
+# for read-only inputs (examples/, docs/) so relative paths in the docs
+# work while any files the commands write stay out of the source tree.
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+ln -s "$SRC_DIR/examples" "$WORKDIR/examples"
+ln -s "$SRC_DIR/docs" "$WORKDIR/docs"
+
+run_line() {
+  local file=$1 lineno=$2 cmd=$3
+  # Map the documented `build/...` paths onto the real build directory.
+  # Normalize "./build/" first so one substitution covers both spellings
+  # (the replacement text of ${var//} is not rescanned, so a BUILD_DIR
+  # that itself ends in "build" cannot recurse).
+  cmd=${cmd//.\/build\//build\/}
+  cmd=${cmd//build\//$BUILD_DIR/}
+  ( cd "$WORKDIR" && eval "$cmd" ) >/dev/null 2>&1
+  local status=$?
+  if [ $status -ne 0 ] && [ $status -ne 2 ]; then
+    echo "FAIL $file:$lineno: exit $status: $cmd"
+    failures=$((failures + 1))
+  else
+    echo "ok   $file:$lineno: $cmd"
+  fi
+}
+
+check_file() {
+  local file=$1
+  local in_block=0 skip_next=0 lineno=0 pending="" block_skipped=0
+  while IFS= read -r line || [ -n "$line" ]; do
+    lineno=$((lineno + 1))
+    if [ $in_block -eq 0 ]; then
+      case $line in
+        *'<!-- docs-check: skip -->'*) skip_next=1 ;;
+        '```sh'*)
+          in_block=1
+          block_skipped=$skip_next
+          skip_next=0
+          ;;
+        '```'*) skip_next=0 ;;  # Non-sh fence: the marker, if any, is spent.
+      esac
+      continue
+    fi
+    if [ "$line" = '```' ]; then
+      in_block=0
+      pending=""
+      continue
+    fi
+    [ "$block_skipped" -eq 1 ] && continue
+    case $line in
+      ''|'#'*) continue ;;  # Blank lines and comments.
+    esac
+    # Stitch backslash continuations into one command.
+    case $line in
+      *\\)
+        pending="$pending${line%\\} "
+        continue
+        ;;
+    esac
+    run_line "${file#"$SRC_DIR"/}" "$lineno" "$pending$line"
+    pending=""
+  done < "$file"
+}
+
+echo "== running fenced sh blocks =="
+check_file "$SRC_DIR/README.md"
+for doc in "$SRC_DIR"/docs/*.md; do
+  check_file "$doc"
+done
+
+echo "== cross-checking docs/cli.md against --help =="
+help_text=$("$CAMPION" --help)
+help_flags=$(printf '%s\n' "$help_text" | grep -oE -- '--[a-z][a-z0-9_-]*' | sort -u)
+doc_flags=$(grep -oE -- '--[a-z][a-z0-9_-]*' "$SRC_DIR/docs/cli.md" | sort -u)
+for flag in $help_flags; do
+  if ! printf '%s\n' "$doc_flags" | grep -qx -- "$flag"; then
+    echo "FAIL docs/cli.md does not document $flag"
+    failures=$((failures + 1))
+  fi
+done
+for flag in $doc_flags; do
+  case $flag in
+    # Flags of the bench binaries, not of campion; cli.md may mention them
+    # in its see-also section.
+    --bench_out|--benchmark_min_time|--benchmark_filter) continue ;;
+  esac
+  if ! printf '%s\n' "$help_flags" | grep -qx -- "$flag"; then
+    echo "FAIL docs/cli.md documents unknown flag $flag"
+    failures=$((failures + 1))
+  fi
+done
+
+if [ $failures -ne 0 ]; then
+  echo "docs_check: $failures failure(s)"
+  exit 1
+fi
+echo "docs_check: all documentation commands and flags verified"

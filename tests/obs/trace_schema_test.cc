@@ -1,0 +1,362 @@
+// Validates real `campion --trace_out` output against the schema documented
+// in docs/trace_format.md: runs the built CLI on the Fig.1 pair, parses the
+// emitted JSON with a minimal parser written here (the repo deliberately
+// has no general JSON dependency), and checks the document shape, the span
+// vocabulary, the kernel metrics, and structural determinism across
+// `--threads` values.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tests/testdata.h"
+
+#ifndef CAMPION_CLI_PATH
+#error "CAMPION_CLI_PATH must be defined by the build"
+#endif
+
+namespace campion {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON model + recursive-descent parser (objects keep key order).
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue& out) {
+    bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return ParseString(out.string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.type = JsonValue::Type::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    if (!Consume('{')) return false;
+    if (Consume('}')) return true;
+    do {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+    } while (Consume(','));
+    return Consume('}');
+  }
+
+  bool ParseArray(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    if (!Consume('[')) return false;
+    if (Consume(']')) return true;
+    do {
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.array.push_back(std::move(value));
+    } while (Consume(','));
+    return Consume(']');
+  }
+
+  bool ParseString(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // The emitter only \u-escapes control characters; decode to '?'.
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;
+            out += '?';
+            break;
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Test fixture: writes the Fig.1 pair once and runs the CLI per test.
+
+int RunCommand(const std::string& command) {
+  int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+class TraceSchemaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Per-process scratch dir: parallel ctest runs each case in its own
+    // process, and a shared path would race on the config files.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("campion-trace-schema-" + std::to_string(getpid()));
+    std::filesystem::create_directories(dir_);
+    std::ofstream(dir_ / "cisco.cfg") << testing::kFig1Cisco;
+    std::ofstream(dir_ / "juniper.conf") << testing::kFig1Juniper;
+  }
+
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  static std::string Path(const std::string& name) {
+    return (dir_ / name).string();
+  }
+
+  // Runs the CLI with --trace_out and returns the parsed trace document.
+  static JsonValue TraceFor(const std::string& extra_flags,
+                            const std::string& trace_name) {
+    std::string trace_path = Path(trace_name);
+    std::string command = std::string(CAMPION_CLI_PATH) + " " + extra_flags +
+                          " --trace_out=" + trace_path + " " +
+                          Path("cisco.cfg") + " " + Path("juniper.conf") +
+                          " > /dev/null 2>&1";
+    EXPECT_EQ(RunCommand(command), 2);  // Fig.1 pair has differences.
+    std::ifstream file(trace_path);
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    JsonValue doc;
+    EXPECT_TRUE(JsonParser(buffer.str()).Parse(doc))
+        << "trace is not valid JSON: " << trace_path;
+    return doc;
+  }
+
+  static std::filesystem::path dir_;
+};
+
+std::filesystem::path TraceSchemaTest::dir_;
+
+// Recursively checks one span object against the documented schema and
+// collects the names seen.
+void ValidateSpan(const JsonValue& span, std::set<std::string>& names) {
+  ASSERT_EQ(span.type, JsonValue::Type::kObject);
+  const JsonValue* name = span.Find("name");
+  ASSERT_NE(name, nullptr);
+  ASSERT_EQ(name->type, JsonValue::Type::kString);
+  EXPECT_FALSE(name->string.empty());
+  names.insert(name->string);
+
+  const JsonValue* start = span.Find("start_ns");
+  ASSERT_NE(start, nullptr);
+  EXPECT_EQ(start->type, JsonValue::Type::kNumber);
+  EXPECT_GE(start->number, 0.0);
+  const JsonValue* duration = span.Find("duration_ns");
+  ASSERT_NE(duration, nullptr);
+  EXPECT_EQ(duration->type, JsonValue::Type::kNumber);
+  EXPECT_GE(duration->number, 0.0);
+
+  // detail and attrs are optional; when present they must have the right
+  // shape (string, and object of numbers, respectively).
+  if (const JsonValue* detail = span.Find("detail")) {
+    EXPECT_EQ(detail->type, JsonValue::Type::kString);
+  }
+  if (const JsonValue* attrs = span.Find("attrs")) {
+    ASSERT_EQ(attrs->type, JsonValue::Type::kObject);
+    for (const auto& [key, value] : attrs->object) {
+      EXPECT_FALSE(key.empty());
+      EXPECT_EQ(value.type, JsonValue::Type::kNumber);
+    }
+  }
+
+  const JsonValue* children = span.Find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->type, JsonValue::Type::kArray);
+  for (const JsonValue& child : children->array) ValidateSpan(child, names);
+}
+
+TEST_F(TraceSchemaTest, DocumentMatchesDocumentedSchema) {
+  JsonValue doc = TraceFor("", "trace.json");
+  ASSERT_EQ(doc.type, JsonValue::Type::kObject);
+
+  const JsonValue* version = doc.Find("campion_trace_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->number, 1.0);
+
+  const JsonValue* spans = doc.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->type, JsonValue::Type::kArray);
+  ASSERT_FALSE(spans->array.empty());
+
+  std::set<std::string> names;
+  for (const JsonValue& span : spans->array) ValidateSpan(span, names);
+  // The documented pipeline phases all appear for the Fig.1 pair.
+  for (const char* required :
+       {"parse", "config_diff", "match_policies", "route_map_pair", "encode",
+        "class_intersect", "header_localize", "structural"}) {
+    EXPECT_TRUE(names.count(required)) << "missing span name: " << required;
+  }
+
+  const JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->type, JsonValue::Type::kObject);
+  std::map<std::string, double> flat;
+  for (const auto& [key, value] : metrics->object) {
+    ASSERT_EQ(value.type, JsonValue::Type::kNumber) << key;
+    flat[key] = value.number;
+  }
+  EXPECT_EQ(flat["parse.files"], 2.0);
+  EXPECT_GT(flat["parse.lines"], 0.0);
+  EXPECT_GT(flat["bdd.cache_lookups"], 0.0);
+  EXPECT_GT(flat["bdd.unique_lookups"], 0.0);
+  EXPECT_GT(flat["bdd.unique_table_peak_slots"], 0.0);
+  EXPECT_GE(flat["bdd.cache_lookups"], flat["bdd.cache_hits"]);
+  EXPECT_GE(flat["bdd.unique_probes"], flat["bdd.unique_lookups"]);
+  EXPECT_EQ(flat["diff.route_map_pairs"], 1.0);
+  // Metric keys are emitted in sorted order (the registry snapshot).
+  for (std::size_t i = 1; i < metrics->object.size(); ++i) {
+    EXPECT_LT(metrics->object[i - 1].first, metrics->object[i].first);
+  }
+}
+
+// Structure-only rendering of a parsed trace: name/detail/nesting, no
+// timings — the part docs/trace_format.md guarantees is deterministic.
+void StructureOf(const JsonValue& span, int depth, std::string& out) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += span.Find("name")->string;
+  if (const JsonValue* detail = span.Find("detail")) {
+    out += " [" + detail->string + "]";
+  }
+  out += "\n";
+  for (const JsonValue& child : span.Find("children")->array) {
+    StructureOf(child, depth + 1, out);
+  }
+}
+
+TEST_F(TraceSchemaTest, StructureIsIdenticalAcrossThreadCounts) {
+  JsonValue serial = TraceFor("--threads=1", "trace_t1.json");
+  JsonValue pooled = TraceFor("--threads=4", "trace_t4.json");
+  std::string serial_structure, pooled_structure;
+  for (const JsonValue& span : serial.Find("spans")->array) {
+    StructureOf(span, 0, serial_structure);
+  }
+  for (const JsonValue& span : pooled.Find("spans")->array) {
+    StructureOf(span, 0, pooled_structure);
+  }
+  EXPECT_EQ(serial_structure, pooled_structure);
+  EXPECT_FALSE(serial_structure.empty());
+
+  // Counters (everything except wall-clock) also agree exactly.
+  auto metrics_of = [](const JsonValue& doc) {
+    std::map<std::string, double> flat;
+    for (const auto& [key, value] : doc.Find("metrics")->object) {
+      flat[key] = value.number;
+    }
+    return flat;
+  };
+  EXPECT_EQ(metrics_of(serial), metrics_of(pooled));
+}
+
+}  // namespace
+}  // namespace campion

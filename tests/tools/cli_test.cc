@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "cisco/cisco_unparser.h"
@@ -26,8 +29,10 @@ struct RunResult {
   std::string output;
 };
 
-RunResult RunCli(const std::string& args) {
-  std::string command = std::string(CAMPION_CLI_PATH) + " " + args + " 2>&1";
+RunResult RunCliRedirected(const std::string& args,
+                           const std::string& redirect) {
+  std::string command =
+      std::string(CAMPION_CLI_PATH) + " " + args + " " + redirect;
   FILE* pipe = popen(command.c_str(), "r");
   RunResult result;
   if (pipe == nullptr) return result;
@@ -41,13 +46,38 @@ RunResult RunCli(const std::string& args) {
   return result;
 }
 
+// Captures stdout and stderr interleaved (the historical default).
+RunResult RunCli(const std::string& args) {
+  return RunCliRedirected(args, "2>&1");
+}
+
+// Captures stdout only — for checks that the report stream stays
+// byte-identical while --stats writes its tables to stderr.
+RunResult RunCliStdout(const std::string& args) {
+  return RunCliRedirected(args, "2>/dev/null");
+}
+
+// Captures stderr only.
+RunResult RunCliStderr(const std::string& args) {
+  return RunCliRedirected(args, "2>&1 1>/dev/null");
+}
+
 class CliTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dir_ = std::filesystem::temp_directory_path() / "campion-cli-test";
+    // One directory per process: ctest runs each test case as its own
+    // process, possibly in parallel, and a shared path would let one
+    // process truncate a config file while another reads it.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("campion-cli-test-" + std::to_string(getpid()));
     std::filesystem::create_directories(dir_);
     Write("cisco.cfg", testing::kFig1Cisco);
     Write("juniper.conf", testing::kFig1Juniper);
+  }
+
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
   }
 
   static void Write(const std::string& name, const std::string& content) {
@@ -135,6 +165,59 @@ TEST_F(CliTest, BatchMode) {
   EXPECT_NE(result.output.find("pair2: equivalent"), std::string::npos);
   EXPECT_NE(result.output.find("2 pair(s) compared, 1 with differences"),
             std::string::npos);
+}
+
+TEST_F(CliTest, HelpExitsZeroAndDocumentsFlags) {
+  RunResult result = RunCliStdout("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* flag :
+       {"--format=", "--quiet", "--checks=", "--route-map=", "--acl=",
+        "--threads=", "--batch", "--trace_out=", "--stats", "--help"}) {
+    EXPECT_NE(result.output.find(flag), std::string::npos)
+        << "usage text missing " << flag;
+  }
+  EXPECT_NE(result.output.find("exit status"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceOutWritesVersionedJson) {
+  std::string trace = Path("trace.json");
+  RunResult result = RunCli("--trace_out=" + trace + " " + Path("cisco.cfg") +
+                            " " + Path("juniper.conf"));
+  EXPECT_EQ(result.exit_code, 2);
+  std::ifstream file(trace);
+  ASSERT_TRUE(file.good()) << "trace file not written";
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_NE(buffer.str().find("\"campion_trace_version\": 1"),
+            std::string::npos);
+  EXPECT_NE(buffer.str().find("\"route_map_pair\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"bdd.cache_hits\""), std::string::npos);
+}
+
+TEST_F(CliTest, TraceOutUnwritablePathFails) {
+  RunResult result =
+      RunCli("--trace_out=/nonexistent-dir/trace.json " + Path("cisco.cfg") +
+             " " + Path("juniper.conf"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsGoToStderrOnly) {
+  std::string pair = Path("cisco.cfg") + " " + Path("juniper.conf");
+  RunResult err = RunCliStderr("--stats " + pair);
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("Phase timings"), std::string::npos);
+  EXPECT_NE(err.output.find("bdd.cache_lookups"), std::string::npos);
+
+  // The report on stdout is byte-identical with and without tracing, and
+  // at any thread count — the acceptance bar for the observability layer.
+  std::string plain = RunCliStdout(pair).output;
+  EXPECT_EQ(RunCliStdout("--stats " + pair).output, plain);
+  EXPECT_EQ(RunCliStdout("--trace_out=" + Path("t2.json") + " --stats " + pair)
+                .output,
+            plain);
+  EXPECT_EQ(RunCliStdout("--threads=1 " + pair).output, plain);
+  EXPECT_EQ(RunCliStdout("--threads=4 " + pair).output, plain);
 }
 
 }  // namespace
