@@ -25,6 +25,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_report.h"
+#include "util/rss.h"
 
 namespace campion::benchutil {
 
@@ -90,6 +91,13 @@ inline void RecordTracedRun(Fn&& fn) {
     std::replace(flat.begin(), flat.end(), '.', '_');
     metrics.Record("obs_" + flat, value);
   }
+  // Peak-memory fields for the BENCH_*.json trajectory: the process
+  // high-water RSS after the traced workload (zero on platforms without
+  // /proc/self/status). The BDD byte accounting already rides along above
+  // as obs_bdd_mem_*.
+  util::MemorySample sample = util::SampleProcessMemory();
+  metrics.Record("peak_rss_bytes",
+                 static_cast<double>(sample.peak_rss_bytes));
 }
 
 inline void PrintHeader(const std::string& title) {

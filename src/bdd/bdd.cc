@@ -33,6 +33,7 @@ inline std::uint64_t MixHash(std::uint64_t a, std::uint64_t b,
 BddManager::BddManager(Var num_vars) : num_vars_(num_vars) {
   nodes_.push_back({kTerminalVar, kFalse, kFalse});  // 0: false terminal
   nodes_.push_back({kTerminalVar, kTrue, kTrue});    // 1: true terminal
+  peak_live_nodes_ = nodes_.size();
   var_true_.resize(num_vars_, kFalse);
   unique_slots_.assign(kInitialUniqueCapacity, kFalse);
   unique_mask_ = kInitialUniqueCapacity - 1;
@@ -74,6 +75,7 @@ BddRef BddManager::MakeNode(Var var, BddRef low, BddRef high) {
   }
   BddRef ref = static_cast<BddRef>(nodes_.size());
   nodes_.push_back({var, low, high});
+  if (nodes_.size() > peak_live_nodes_) peak_live_nodes_ = nodes_.size();
   unique_slots_[idx] = ref;
   // Rehash at 50% load: linear probing stays short and slots are 4 bytes.
   if (++unique_size_ * 2 >= unique_slots_.size()) {
@@ -84,6 +86,7 @@ BddRef BddManager::MakeNode(Var var, BddRef low, BddRef high) {
 }
 
 void BddManager::RehashUnique(std::size_t new_capacity) {
+  ++stat_rehashes_;
   unique_slots_.assign(new_capacity, kFalse);
   unique_mask_ = new_capacity - 1;
   for (BddRef ref = kTrue + 1; ref < nodes_.size(); ++ref) {
@@ -218,6 +221,28 @@ BddStats BddManager::Stats() const {
   stats.cache_lookups = stat_cache_hits_ + stat_cache_misses_;
   stats.cache_hits = stat_cache_hits_;
   return stats;
+}
+
+BddMemoryStats BddManager::MemoryStats() const {
+  BddMemoryStats mem;
+  mem.node_arena_bytes = nodes_.capacity() * sizeof(Node);
+  mem.unique_table_bytes = unique_slots_.capacity() * sizeof(BddRef);
+  mem.unique_load_factor =
+      unique_slots_.empty()
+          ? 0.0
+          : static_cast<double>(unique_size_) /
+                static_cast<double>(unique_slots_.size());
+  mem.ite_cache_bytes = ite_cache_.capacity() * sizeof(CacheEntry);
+  mem.scratch_bytes = var_true_.capacity() * sizeof(BddRef) +
+                      ite_frames_.capacity() * sizeof(IteFrame) +
+                      ite_values_.capacity() * sizeof(BddRef) +
+                      visit_mark_.capacity() * sizeof(std::uint32_t) +
+                      visit_stack_.capacity() * sizeof(BddRef);
+  mem.total_bytes = mem.node_arena_bytes + mem.unique_table_bytes +
+                    mem.ite_cache_bytes + mem.scratch_bytes;
+  mem.peak_live_nodes = peak_live_nodes_;
+  mem.rehash_count = stat_rehashes_;
+  return mem;
 }
 
 double BddManager::SatCount(BddRef f) {

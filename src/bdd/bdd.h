@@ -71,6 +71,23 @@ struct BddStats {
   }
 };
 
+// Memory accounting, exposed through BddManager::MemoryStats(). Bytes are
+// computed from container capacities (what the manager actually reserved,
+// not just what it filled), so the numbers add up to the manager's real
+// heap footprint. All fields are deterministic for a deterministic
+// workload — the same sequence of operations reports the same bytes at any
+// thread count, which keeps traces comparable across runs.
+struct BddMemoryStats {
+  std::size_t node_arena_bytes = 0;    // nodes_ capacity, in bytes.
+  std::size_t unique_table_bytes = 0;  // Open-addressing slot array.
+  double unique_load_factor = 0.0;     // Interned nodes / slots (< 0.5).
+  std::size_t ite_cache_bytes = 0;     // Direct-mapped computed cache.
+  std::size_t scratch_bytes = 0;       // Stacks, stamps, per-var caches.
+  std::size_t total_bytes = 0;         // Sum of the byte fields above.
+  std::size_t peak_live_nodes = 0;     // High-water arena node count.
+  std::uint64_t rehash_count = 0;      // Unique-table growth events.
+};
+
 class BddManager {
  public:
   // `num_vars` fixes the variable order up front (variables 0..num_vars-1,
@@ -120,6 +137,10 @@ class BddManager {
 
   // Kernel counters (arena size, probe lengths, cache hit rate).
   BddStats Stats() const;
+
+  // Memory accounting: reserved bytes per structure, unique-table load
+  // factor, peak live node count, and rehash count.
+  BddMemoryStats MemoryStats() const;
 
   // The set of variables f depends on.
   std::vector<Var> Support(BddRef f) const;
@@ -212,6 +233,8 @@ class BddManager {
   mutable std::vector<BddRef> visit_stack_;
 
   // Instrumentation.
+  std::size_t peak_live_nodes_ = 0;
+  std::uint64_t stat_rehashes_ = 0;
   mutable std::uint64_t stat_unique_lookups_ = 0;
   mutable std::uint64_t stat_unique_probes_ = 0;
   mutable std::uint64_t stat_unique_hits_ = 0;

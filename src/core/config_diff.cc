@@ -12,6 +12,7 @@
 #include "encode/packet.h"
 #include "encode/route_adv.h"
 #include "obs/bdd_metrics.h"
+#include "obs/mem_metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -29,6 +30,21 @@ ir::RouteMap PassThroughMap() {
 
 // Resolves a route map by name, falling back to pass-through for the empty
 // name and recording a warning for a dangling reference.
+// Records a pair manager's kernel + memory accounting on the pair's span
+// and into the metrics registry. One call per manager, at task end — the
+// MemoryStats() walk is cheap but not free, so it stays off when tracing
+// is disabled.
+void RecordPairBddObservability(obs::ScopedSpan& span,
+                                const bdd::BddManager& mgr) {
+  if (!obs::Enabled()) return;
+  span.AddAttr("bdd_nodes", static_cast<double>(mgr.ArenaSize()));
+  obs::RecordBddStats(mgr.Stats());
+  bdd::BddMemoryStats mem = mgr.MemoryStats();
+  span.AddAttr("bdd_mem_bytes", static_cast<double>(mem.total_bytes));
+  span.AddAttr("bdd_rehashes", static_cast<double>(mem.rehash_count));
+  obs::RecordBddMemory(mem);
+}
+
 const ir::RouteMap* ResolveMap(const ir::RouterConfig& config,
                                const std::string& name,
                                const ir::RouteMap& fallback,
@@ -71,9 +87,8 @@ std::vector<PresentedDifference> DiffRouteMapPairImpl(
         layout, diff, config1, config2, map1->name, map2->name));
   }
   span.AddAttr("differences", static_cast<double>(presented.size()));
-  span.AddAttr("bdd_nodes", static_cast<double>(mgr.ArenaSize()));
   obs::Count("diff.route_map_pairs");
-  obs::RecordBddStats(mgr.Stats());
+  RecordPairBddObservability(span, mgr);
   return presented;
 }
 
@@ -144,9 +159,8 @@ std::vector<PresentedDifference> DiffAclPair(const ir::RouterConfig& config1,
         PresentAclDifference(layout, diff, *acl1, *acl2, config1, config2));
   }
   span.AddAttr("differences", static_cast<double>(presented.size()));
-  span.AddAttr("bdd_nodes", static_cast<double>(mgr.ArenaSize()));
   obs::Count("diff.acl_pairs");
-  obs::RecordBddStats(mgr.Stats());
+  RecordPairBddObservability(span, mgr);
   return presented;
 }
 
@@ -300,6 +314,7 @@ DiffReport ConfigDiff(const ir::RouterConfig& config1,
     entry.rendered = warning + "\n";
     report.entries.push_back(std::move(entry));
   }
+  obs::RecordSpanMemory(pipeline_span);
   return report;
 }
 

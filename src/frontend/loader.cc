@@ -7,6 +7,7 @@
 
 #include "cisco/cisco_parser.h"
 #include "juniper/juniper_parser.h"
+#include "obs/mem_metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -76,6 +77,7 @@ LoadResult LoadConfig(const std::string& text, const std::string& filename,
     result.diagnostics = std::move(parsed.diagnostics);
   }
   span.AddAttr("diagnostics", static_cast<double>(result.diagnostics.size()));
+  obs::RecordSpanMemory(span);
   return result;
 }
 

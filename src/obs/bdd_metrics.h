@@ -31,4 +31,27 @@ inline void RecordBddStats(const bdd::BddStats& stats) {
   registry.Max("bdd.arena_peak_nodes", static_cast<double>(stats.arena_size));
 }
 
+// Exports a manager's memory accounting (bdd::BddMemoryStats). Counters
+// (`bdd.mem_bytes`, `bdd.rehashes`) accumulate across managers so the run
+// total reflects every arena the pipeline allocated; watermarks
+// (`bdd.mem_peak_*`) keep the largest single manager. All fields derive
+// from container capacities, so — unlike the RSS samples — they are
+// deterministic for a deterministic workload at any thread count.
+inline void RecordBddMemory(const bdd::BddMemoryStats& mem) {
+  if (!Enabled()) return;
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.Add("bdd.mem_bytes", static_cast<double>(mem.total_bytes));
+  registry.Add("bdd.rehashes", static_cast<double>(mem.rehash_count));
+  registry.Max("bdd.mem_peak_bytes", static_cast<double>(mem.total_bytes));
+  registry.Max("bdd.mem_peak_node_arena_bytes",
+               static_cast<double>(mem.node_arena_bytes));
+  registry.Max("bdd.mem_peak_unique_table_bytes",
+               static_cast<double>(mem.unique_table_bytes));
+  registry.Max("bdd.mem_peak_ite_cache_bytes",
+               static_cast<double>(mem.ite_cache_bytes));
+  registry.Max("bdd.peak_live_nodes",
+               static_cast<double>(mem.peak_live_nodes));
+  registry.Max("bdd.unique_load_factor", mem.unique_load_factor);
+}
+
 }  // namespace campion::obs

@@ -1,0 +1,35 @@
+#pragma once
+
+// Records process resident-set samples (util::SampleProcessMemory) as
+// span attributes on the big pipeline phases and as mem.* watermarks in
+// the metrics registry. Header-only, like obs/bdd_metrics.h.
+//
+// RSS depends on allocator and scheduler state, so — unlike the BDD byte
+// accounting — these values legitimately vary run to run and across
+// thread counts. docs/trace_format.md documents them as non-deterministic;
+// determinism checks must exclude the mem.* keys and rss attrs. On
+// platforms without /proc/self/status the sampler reports zeros and
+// nothing is recorded.
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/rss.h"
+
+namespace campion::obs {
+
+// Samples RSS once and records it on `span` (attrs `rss_bytes`,
+// `peak_rss_bytes`) and in the registry (watermarks `mem.rss_bytes`,
+// `mem.peak_rss_bytes`). Call at the end of a big phase; sampling reads
+// /proc, so this is not for hot loops. No-op while tracing is disabled.
+inline void RecordSpanMemory(ScopedSpan& span) {
+  if (!Enabled()) return;
+  util::MemorySample sample = util::SampleProcessMemory();
+  if (!sample.Available()) return;
+  span.AddAttr("rss_bytes", static_cast<double>(sample.rss_bytes));
+  span.AddAttr("peak_rss_bytes", static_cast<double>(sample.peak_rss_bytes));
+  MaxGauge("mem.rss_bytes", static_cast<double>(sample.rss_bytes));
+  MaxGauge("mem.peak_rss_bytes",
+           static_cast<double>(sample.peak_rss_bytes));
+}
+
+}  // namespace campion::obs

@@ -1,5 +1,6 @@
 #include "obs/trace_report.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -79,6 +80,47 @@ double Metric(const std::vector<std::pair<std::string, double>>& metrics,
   return 0.0;
 }
 
+// ---------------------------------------------------------------------------
+// Chrome Trace Event export.
+
+// Span names that mark the root of one pooled per-pair task. Each gets its
+// own synthetic thread lane, numbered in pair-declaration order — the
+// declaration order is what the deterministic tree preserves, so the lane
+// assignment is identical at any actual thread count.
+bool IsWorkerSpanName(const std::string& name) {
+  return name == "route_map_pair" || name == "acl_pair";
+}
+
+struct ChromeEvent {
+  const Span* span;
+  int tid;
+};
+
+// Pre-order walk assigning lanes: worker task roots open a fresh lane,
+// their subtrees inherit it, everything else stays on the caller's lane.
+void CollectChromeEvents(const Span& span, int tid, int& next_worker_tid,
+                         std::vector<ChromeEvent>& events) {
+  if (IsWorkerSpanName(span.name)) tid = next_worker_tid++;
+  events.push_back({&span, tid});
+  for (const Span& child : span.children) {
+    CollectChromeEvents(child, tid, next_worker_tid, events);
+  }
+}
+
+std::string Microseconds(std::uint64_t ns) {
+  char buffer[40];
+  snprintf(buffer, sizeof(buffer), "%.3f", static_cast<double>(ns) / 1e3);
+  return buffer;
+}
+
+void AppendChromeMetadata(int tid, const std::string& thread_name,
+                          std::string& out) {
+  out += "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": " +
+         std::to_string(tid) + ", \"args\": {\"name\": " + Quoted(thread_name) +
+         "}},\n";
+}
+
 void StructureLines(const Span& span, int depth, std::string& out) {
   out.append(static_cast<std::size_t>(depth) * 2, ' ');
   out += span.name;
@@ -103,6 +145,66 @@ std::string TraceToJson(
   }
   out += roots.empty() ? "],\n" : "\n  ],\n";
   out += "  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    " + Quoted(metrics[i].first) + ": " +
+           util::JsonNumber(metrics[i].second);
+  }
+  out += metrics.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string TraceToChromeJson(
+    const std::vector<Span>& roots,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::vector<ChromeEvent> events;
+  int next_worker_tid = 1;  // 0 is the main lane.
+  for (const Span& root : roots) {
+    CollectChromeEvents(root, 0, next_worker_tid, events);
+  }
+  // Viewers expect events in timestamp order; under the pool, sibling
+  // spans can finish out of start order. stable_sort keeps the pre-order
+  // (parent before child) for equal timestamps.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChromeEvent& a, const ChromeEvent& b) {
+                     return a.span->start_ns < b.span->start_ns;
+                   });
+
+  std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n";
+  out += "  \"traceEvents\": [\n";
+  out += "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": 0, \"args\": {\"name\": \"campion\"}},\n";
+  AppendChromeMetadata(0, "main", out);
+  for (int tid = 1; tid < next_worker_tid; ++tid) {
+    AppendChromeMetadata(tid, "pair-" + std::to_string(tid), out);
+  }
+  // The metadata lines above always end ",\n"; with no span events the
+  // last comma would dangle before the closing bracket.
+  if (events.empty()) out.erase(out.size() - 2, 1);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Span& span = *events[i].span;
+    out += "    {\"name\": " + Quoted(span.name) +
+           ", \"cat\": \"campion\", \"ph\": \"X\", \"ts\": " +
+           Microseconds(span.start_ns) +
+           ", \"dur\": " + Microseconds(span.duration_ns) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(events[i].tid);
+    out += ", \"args\": {";
+    bool first_arg = true;
+    if (!span.detail.empty()) {
+      out += "\"detail\": " + Quoted(span.detail);
+      first_arg = false;
+    }
+    for (const auto& [key, value] : span.attrs) {
+      if (!first_arg) out += ", ";
+      out += Quoted(key) + ": " + util::JsonNumber(value);
+      first_arg = false;
+    }
+    out += "}}";
+    out += i + 1 < events.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"otherData\": {";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
     out += "    " + Quoted(metrics[i].first) + ": " +

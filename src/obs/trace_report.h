@@ -19,6 +19,19 @@ std::string TraceToJson(
     const std::vector<Span>& roots,
     const std::vector<std::pair<std::string, double>>& metrics);
 
+// Serializes the same forest as Chrome Trace Event JSON (complete "X"
+// events, microsecond timestamps) loadable in Perfetto or chrome://tracing.
+// Spans from the per-pair worker tasks ("route_map_pair" / "acl_pair", and
+// everything nested under them) are laid out on synthetic tids numbered in
+// pair-declaration order, so two traces of the same comparison get the
+// same visual layout at any `--threads` value; all other spans render on
+// tid 0 ("main"). Events are sorted by timestamp. The metrics snapshot
+// rides along under "otherData". docs/trace_format.md documents the
+// mapping.
+std::string TraceToChromeJson(
+    const std::vector<Span>& roots,
+    const std::vector<std::pair<std::string, double>>& metrics);
+
 // Totals aggregated per span name across the whole forest, every depth
 // included, in first-appearance order (deterministic for a deterministic
 // tree).

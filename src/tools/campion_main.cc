@@ -17,6 +17,9 @@
 //                                  (0 = hardware concurrency, 1 = serial).
 //   --trace_out=FILE               Write a JSON trace (phase spans + metrics,
 //                                  see docs/trace_format.md) to FILE.
+//   --trace_format=campion|chrome  Trace file format: the versioned campion
+//                                  span tree (default) or Chrome Trace Event
+//                                  JSON for Perfetto / chrome://tracing.
 //   --stats                        Print a phase-timing and metrics summary
 //                                  to stderr after the report.
 //   --batch                        Treat the two arguments as directories and
@@ -54,6 +57,7 @@ struct Options {
   std::string route_map;
   std::string acl;
   std::string trace_out;  // Empty = no trace file.
+  bool trace_chrome = false;  // --trace_format=chrome
   bool stats = false;
   bool json = false;
   bool quiet = false;
@@ -120,6 +124,9 @@ void PrintUsage(std::ostream& out) {
          "                  (0 = hardware concurrency, 1 = serial)\n"
          "  --trace_out=F   write a JSON trace of the run (phase spans +\n"
          "                  metrics, docs/trace_format.md) to file F\n"
+         "  --trace_format=campion|chrome\n"
+         "                  trace file format: campion span tree (default)\n"
+         "                  or Chrome Trace Event JSON (Perfetto)\n"
          "  --stats         print a phase-timing and metrics summary to\n"
          "                  stderr after the report\n"
          "  --batch         treat the two arguments as directories and\n"
@@ -234,6 +241,15 @@ bool ParseArgs(int argc, char** argv, Options* options, int* exit_code) {
         std::cerr << "error: --trace_out needs a file path\n";
         return false;
       }
+    } else if (arg.rfind("--trace_format=", 0) == 0) {
+      std::string format = value_of("--trace_format=");
+      if (format == "chrome") {
+        options->trace_chrome = true;
+      } else if (format != "campion") {
+        std::cerr << "error: unknown trace format '" << format
+                  << "' (expected campion or chrome)\n";
+        return false;
+      }
     } else if (arg == "--stats") {
       options->stats = true;
     } else if (arg.rfind("--format=", 0) == 0) {
@@ -274,10 +290,19 @@ bool EmitObservability(const Options& options) {
   if (!options.trace_out.empty()) {
     std::ofstream file(options.trace_out);
     if (!file) {
-      std::cerr << "error: cannot write " << options.trace_out << "\n";
+      std::cerr << "error: cannot open trace output file '"
+                << options.trace_out << "' for writing\n";
       return false;
     }
-    file << campion::obs::TraceToJson(spans, metrics);
+    file << (options.trace_chrome
+                 ? campion::obs::TraceToChromeJson(spans, metrics)
+                 : campion::obs::TraceToJson(spans, metrics));
+    file.flush();
+    if (!file) {
+      std::cerr << "error: failed writing trace output file '"
+                << options.trace_out << "'\n";
+      return false;
+    }
   }
   return true;
 }

@@ -1,6 +1,8 @@
 #include "util/json.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace campion::util {
@@ -35,6 +37,172 @@ std::string JsonNumber(double value) {
   std::ostringstream out;
   out << value;
   return out.str();
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(const std::string& key, double fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->IsNumber() ? value->number : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue& out) {
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const char* what) {
+    if (error_ != nullptr) {
+      *error_ = std::string(what) + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return ParseString(out.string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.type = JsonValue::Type::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    if (!Consume('{')) return Fail("expected '{'");
+    if (Consume('}')) return true;
+    do {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(key)) return Fail("expected object key");
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+    } while (Consume(','));
+    if (!Consume('}')) return Fail("expected '}'");
+    return true;
+  }
+
+  bool ParseArray(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    if (!Consume('[')) return Fail("expected '['");
+    if (Consume(']')) return true;
+    do {
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.array.push_back(std::move(value));
+    } while (Consume(','));
+    if (!Consume(']')) return Fail("expected ']'");
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u':
+          // Our emitters only \u-escape control characters; decode to '?'.
+          if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+          pos_ += 4;
+          out += '?';
+          break;
+        default: return Fail("unknown escape");
+      }
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double value = std::strtod(start, &end);
+    if (end == start) return Fail("expected value");
+    pos_ += static_cast<std::size_t>(end - start);
+    out.type = JsonValue::Type::kNumber;
+    out.number = value;
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue& out, std::string* error) {
+  return Parser(text, error).Parse(out);
 }
 
 }  // namespace campion::util

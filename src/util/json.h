@@ -1,11 +1,21 @@
 #pragma once
 
-// Minimal JSON emission helpers shared by the report writers (core's diff
-// reports, obs's trace files, bench's metric dumps). Emission only — the
-// repo deliberately has no general JSON parser; tests that need to read
-// JSON back carry their own small reader.
+// Minimal JSON helpers shared by the report writers (core's diff reports,
+// obs's trace files, bench's metric dumps) and the trace-consuming tools.
+//
+// Emission: JsonEscape / JsonNumber keep the writers dependency-free.
+//
+// Reading: JsonValue + ParseJson are a small recursive-descent reader, just
+// enough to load the documents this repo itself emits (campion traces,
+// BENCH metric dumps). Objects preserve key order so consumers can check
+// emission-order guarantees. It is not a general validating parser —
+// numbers lean on strtod and \u escapes outside the control range decode
+// to '?' — which matches what the emitters above can produce.
 
+#include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace campion::util {
 
@@ -17,5 +27,33 @@ std::string JsonEscape(const std::string& text);
 // without a decimal point (counters stay grep-friendly), everything else
 // via the default ostream formatting.
 std::string JsonNumber(double value);
+
+// One parsed JSON value. Arrays/objects own their elements; objects keep
+// key order as written.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsObject() const { return type == Type::kObject; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsString() const { return type == Type::kString; }
+
+  // First value under `key`, or nullptr (also when not an object).
+  const JsonValue* Find(const std::string& key) const;
+  // Find + number access with a default; sugar for metric lookups.
+  double NumberOr(const std::string& key, double fallback) const;
+};
+
+// Parses `text` into `out`. Returns false on malformed input or trailing
+// garbage; `error`, when non-null, receives a one-line description with a
+// byte offset.
+bool ParseJson(const std::string& text, JsonValue& out,
+               std::string* error = nullptr);
 
 }  // namespace campion::util

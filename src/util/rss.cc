@@ -1,0 +1,37 @@
+#include "util/rss.h"
+
+#ifdef __linux__
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace campion::util {
+
+#ifdef __linux__
+
+MemorySample SampleProcessMemory() {
+  MemorySample sample;
+  FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return sample;
+  char line[256];
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    // Lines look like "VmRSS:      123456 kB".
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu", &kb) == 1) {
+      sample.rss_bytes = static_cast<std::uint64_t>(kb) * 1024;
+    } else if (std::sscanf(line, "VmHWM: %llu", &kb) == 1) {
+      sample.peak_rss_bytes = static_cast<std::uint64_t>(kb) * 1024;
+    }
+    if (sample.rss_bytes != 0 && sample.peak_rss_bytes != 0) break;
+  }
+  std::fclose(status);
+  return sample;
+}
+
+#else
+
+MemorySample SampleProcessMemory() { return MemorySample{}; }
+
+#endif
+
+}  // namespace campion::util

@@ -1,0 +1,25 @@
+#pragma once
+
+// Process-memory sampling for the observability layer. On Linux the
+// numbers come from /proc/self/status (VmRSS = current resident set,
+// VmHWM = peak resident set); on platforms without that file both fields
+// read as zero, so callers can record the sample unconditionally and
+// consumers treat zero as "not available". Sampling is a handful of
+// syscalls — cheap enough for once-per-phase use, too slow for hot loops.
+
+#include <cstdint>
+
+namespace campion::util {
+
+struct MemorySample {
+  std::uint64_t rss_bytes = 0;       // Current resident set size.
+  std::uint64_t peak_rss_bytes = 0;  // High-water resident set (VmHWM).
+
+  bool Available() const { return peak_rss_bytes != 0; }
+};
+
+// Samples the calling process's resident-set sizes. Never throws; returns
+// zeros when the platform offers no /proc/self/status.
+MemorySample SampleProcessMemory();
+
+}  // namespace campion::util

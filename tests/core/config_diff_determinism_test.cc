@@ -11,6 +11,8 @@
 
 #include "core/json_report.h"
 #include "gen/scenarios.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace campion::core {
 namespace {
@@ -65,6 +67,25 @@ TEST(ConfigDiffDeterminismTest, ZeroMeansHardwareConcurrency) {
   std::string pooled =
       RenderAll(scenario.core.config1, scenario.core.config2, 0);
   EXPECT_EQ(serial, pooled);
+}
+
+TEST(ConfigDiffDeterminismTest, TracingAndMemoryAccountingAreInvisible) {
+  // With observability on, every pair additionally samples BDD memory
+  // accounting and the pipeline samples process RSS; none of that may
+  // leak into the report, at any thread count.
+  gen::UniversityScenario scenario = gen::BuildUniversityScenario();
+  std::string plain =
+      RenderAll(scenario.core.config1, scenario.core.config2, 1);
+  obs::SetEnabled(true);
+  std::string traced_serial =
+      RenderAll(scenario.core.config1, scenario.core.config2, 1);
+  std::string traced_parallel =
+      RenderAll(scenario.core.config1, scenario.core.config2, 8);
+  obs::SetEnabled(false);
+  obs::ResetThreadTrace();
+  obs::MetricsRegistry::Instance().Reset();
+  EXPECT_EQ(plain, traced_serial);
+  EXPECT_EQ(plain, traced_parallel);
 }
 
 TEST(ConfigDiffDeterminismTest, RepeatedParallelRunsAgree) {

@@ -8,17 +8,20 @@
 #      (use it for illustrative output or heavy commands like full builds).
 #      Occurrences of `build/` in a command resolve to the actual build
 #      directory, so docs can show the conventional layout.
-#   2. Cross-checks docs/cli.md against `campion --help`: every flag the
-#      binary advertises must be documented, and every flag the manual
-#      documents must exist.
+#   2. Cross-checks docs/cli.md against `campion --help` and
+#      `campion_trace_diff --help`: every flag either binary advertises
+#      must be documented, and every flag the manual documents must exist
+#      in one of them.
 #
-# Usage: docs_check.sh <source_dir> <build_dir> <campion_binary>
+# Usage: docs_check.sh <source_dir> <build_dir> <campion_binary> \
+#                      <trace_diff_binary>
 
 set -u
 
 SRC_DIR=$1
 BUILD_DIR=$2
 CAMPION=$3
+TRACE_DIFF=$4
 
 failures=0
 
@@ -93,7 +96,7 @@ for doc in "$SRC_DIR"/docs/*.md; do
 done
 
 echo "== cross-checking docs/cli.md against --help =="
-help_text=$("$CAMPION" --help)
+help_text=$("$CAMPION" --help; "$TRACE_DIFF" --help)
 help_flags=$(printf '%s\n' "$help_text" | grep -oE -- '--[a-z][a-z0-9_-]*' | sort -u)
 doc_flags=$(grep -oE -- '--[a-z][a-z0-9_-]*' "$SRC_DIR/docs/cli.md" | sort -u)
 for flag in $help_flags; do

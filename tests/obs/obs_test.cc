@@ -171,6 +171,45 @@ TEST_F(ObsTest, TraceJsonContainsVersionSpansAndMetrics) {
   EXPECT_EQ(json.find("\"lines\": 3."), std::string::npos);
 }
 
+TEST_F(ObsTest, ChromeJsonMapsWorkerSpansToSyntheticLanes) {
+  SetEnabled(true);
+  {
+    ScopedSpan root("config_diff", "r1 vs r2");
+    {
+      ScopedSpan pair1("route_map_pair", "A vs A");
+      { ScopedSpan child("encode"); }
+    }
+    { ScopedSpan pair2("acl_pair", "B vs B"); }
+  }
+  Count("bdd.unique_lookups", 5.0);
+  std::string json = TraceToChromeJson(TakeThreadSpans(),
+                                       MetricsRegistry::Instance().Snapshot());
+  // Complete events only, with the metadata naming the synthetic lanes.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"pair-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"pair-2\""), std::string::npos);
+  // Worker spans leave lane 0; their subtrees inherit the lane. The encode
+  // child sits under the first pair, so tid 1 appears at least twice.
+  EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 2"), std::string::npos);
+  // Metrics ride along in otherData.
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("\"bdd.unique_lookups\": 5"), std::string::npos);
+  // No campion version marker: this format is for chrome://tracing.
+  EXPECT_EQ(json.find("campion_trace_version"), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeJsonWithNoSpansIsStillWellFormed) {
+  SetEnabled(true);
+  std::string json =
+      TraceToChromeJson({}, MetricsRegistry::Instance().Snapshot());
+  // The metadata lines must not leave a dangling comma before the close.
+  EXPECT_EQ(json.find(",\n  ]"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
 TEST_F(ObsTest, StatsSummaryRendersTables) {
   SetEnabled(true);
   { ScopedSpan span("parse"); }

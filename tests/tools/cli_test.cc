@@ -172,7 +172,8 @@ TEST_F(CliTest, HelpExitsZeroAndDocumentsFlags) {
   EXPECT_EQ(result.exit_code, 0);
   for (const char* flag :
        {"--format=", "--quiet", "--checks=", "--route-map=", "--acl=",
-        "--threads=", "--batch", "--trace_out=", "--stats", "--help"}) {
+        "--threads=", "--batch", "--trace_out=", "--trace_format=", "--stats",
+        "--help"}) {
     EXPECT_NE(result.output.find(flag), std::string::npos)
         << "usage text missing " << flag;
   }
@@ -192,6 +193,31 @@ TEST_F(CliTest, TraceOutWritesVersionedJson) {
             std::string::npos);
   EXPECT_NE(buffer.str().find("\"route_map_pair\""), std::string::npos);
   EXPECT_NE(buffer.str().find("\"bdd.cache_hits\""), std::string::npos);
+}
+
+TEST_F(CliTest, ChromeTraceFormatWritesTraceEvents) {
+  std::string trace = Path("chrome_trace.json");
+  RunResult result = RunCli("--trace_format=chrome --trace_out=" + trace +
+                            " " + Path("cisco.cfg") + " " +
+                            Path("juniper.conf"));
+  EXPECT_EQ(result.exit_code, 2);
+  std::ifstream file(trace);
+  ASSERT_TRUE(file.good()) << "chrome trace file not written";
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+  // The chrome format is for viewers, not for campion_trace_diff.
+  EXPECT_EQ(text.find("campion_trace_version"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownTraceFormatFails) {
+  RunResult result = RunCli("--trace_format=bogus " + Path("cisco.cfg") +
+                            " " + Path("juniper.conf"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("--trace_format"), std::string::npos);
 }
 
 TEST_F(CliTest, TraceOutUnwritablePathFails) {
@@ -218,6 +244,16 @@ TEST_F(CliTest, StatsGoToStderrOnly) {
             plain);
   EXPECT_EQ(RunCliStdout("--threads=1 " + pair).output, plain);
   EXPECT_EQ(RunCliStdout("--threads=4 " + pair).output, plain);
+  // Memory tracing and the chrome exporter ride the same observability
+  // layer, so they must not perturb the report stream either.
+  EXPECT_EQ(RunCliStdout("--trace_format=chrome --trace_out=" +
+                         Path("t3.json") + " --threads=1 " + pair)
+                .output,
+            plain);
+  EXPECT_EQ(RunCliStdout("--trace_format=chrome --trace_out=" +
+                         Path("t4.json") + " --threads=4 --stats " + pair)
+                .output,
+            plain);
 }
 
 }  // namespace

@@ -1,0 +1,104 @@
+// Tests for the minimal JSON reader in util/json: round-trips of the
+// document shapes this repo emits (traces, metric dumps), key-order
+// preservation, escape handling, and the malformed-input error paths the
+// trace-diff tool relies on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+
+namespace campion::util {
+namespace {
+
+JsonValue ParseOrDie(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, value, &error)) << error << "\n" << text;
+  return value;
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_EQ(ParseOrDie("null").type, JsonValue::Type::kNull);
+  EXPECT_TRUE(ParseOrDie("true").boolean);
+  EXPECT_FALSE(ParseOrDie("false").boolean);
+  EXPECT_DOUBLE_EQ(ParseOrDie("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(ParseOrDie("-3.5e2").number, -350.0);
+  EXPECT_EQ(ParseOrDie("\"hi\"").string, "hi");
+}
+
+TEST(JsonTest, ParsesNestedContainers) {
+  JsonValue value = ParseOrDie(
+      "{\"spans\": [{\"name\": \"config_diff\", \"duration_ns\": 12}],"
+      " \"metrics\": {\"bdd.nodes\": 7}}");
+  ASSERT_TRUE(value.IsObject());
+  const JsonValue* spans = value.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->IsArray());
+  ASSERT_EQ(spans->array.size(), 1u);
+  const JsonValue& span = spans->array[0];
+  ASSERT_NE(span.Find("name"), nullptr);
+  EXPECT_EQ(span.Find("name")->string, "config_diff");
+  EXPECT_DOUBLE_EQ(span.NumberOr("duration_ns", -1), 12.0);
+  EXPECT_DOUBLE_EQ(span.NumberOr("absent", -1), -1.0);
+  const JsonValue* metrics = value.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->NumberOr("bdd.nodes", 0), 7.0);
+}
+
+TEST(JsonTest, ObjectsPreserveKeyOrderAsWritten) {
+  JsonValue value = ParseOrDie("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  ASSERT_EQ(value.object.size(), 3u);
+  EXPECT_EQ(value.object[0].first, "z");
+  EXPECT_EQ(value.object[1].first, "a");
+  EXPECT_EQ(value.object[2].first, "m");
+}
+
+TEST(JsonTest, RoundTripsEscapedStrings) {
+  // What JsonEscape produces, ParseJson must read back verbatim.
+  const std::string original = "tab\there \"quoted\" back\\slash\nnewline";
+  JsonValue value = ParseOrDie("\"" + JsonEscape(original) + "\"");
+  EXPECT_EQ(value.string, original);
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToPlaceholder) {
+  // Non-control \u escapes decode to '?' — enough for our own documents,
+  // which never emit them (documented in util/json.h).
+  EXPECT_EQ(ParseOrDie("\"a\\u00e9b\"").string, "a?b");
+}
+
+TEST(JsonTest, RejectsMalformedInputWithOffset) {
+  const char* bad[] = {
+      "",                      // empty
+      "{",                     // unterminated object
+      "[1, 2",                 // unterminated array
+      "{\"a\" 1}",             // missing colon
+      "{\"a\": 1,}",           // trailing comma
+      "\"unterminated",        // unterminated string
+      "nul",                   // bad literal
+      "1 2",                   // trailing garbage
+      "{\"a\": 1} x",          // trailing garbage after object
+  };
+  for (const char* text : bad) {
+    JsonValue value;
+    std::string error;
+    EXPECT_FALSE(ParseJson(text, value, &error)) << text;
+    EXPECT_NE(error.find("at byte"), std::string::npos)
+        << "error lacks byte offset for: " << text << " -> " << error;
+  }
+}
+
+TEST(JsonTest, ErrorPointerIsOptional) {
+  JsonValue value;
+  EXPECT_FALSE(ParseJson("{", value));  // must not crash with null error.
+}
+
+TEST(JsonTest, JsonNumberSpellsIntegersWithoutDecimalPoint) {
+  EXPECT_EQ(JsonNumber(42.0), "42");
+  EXPECT_EQ(JsonNumber(-7.0), "-7");
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+}
+
+}  // namespace
+}  // namespace campion::util

@@ -1,0 +1,38 @@
+// Tests for the process-memory sampler. On Linux /proc/self/status is
+// always present, so a real sample must come back; elsewhere the sampler
+// degrades to zeros and Available() is false.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rss.h"
+
+namespace campion::util {
+namespace {
+
+TEST(RssTest, SampleIsInternallyConsistent) {
+  MemorySample sample = SampleProcessMemory();
+#ifdef __linux__
+  ASSERT_TRUE(sample.Available());
+  EXPECT_GT(sample.rss_bytes, 0u);
+  // The high-water mark can never be below the current resident size.
+  EXPECT_GE(sample.peak_rss_bytes, sample.rss_bytes);
+#else
+  EXPECT_FALSE(sample.Available());
+  EXPECT_EQ(sample.rss_bytes, 0u);
+  EXPECT_EQ(sample.peak_rss_bytes, 0u);
+#endif
+}
+
+TEST(RssTest, PeakIsMonotoneAcrossSamples) {
+  MemorySample first = SampleProcessMemory();
+  // Touch some memory so the second sample has at least as much history.
+  std::vector<char> ballast(1 << 20, 'x');
+  MemorySample second = SampleProcessMemory();
+  EXPECT_EQ(ballast[12345], 'x');  // Keeps the allocation live.
+  EXPECT_GE(second.peak_rss_bytes, first.peak_rss_bytes);
+}
+
+}  // namespace
+}  // namespace campion::util
