@@ -165,6 +165,68 @@ void PrintSummary() {
     }
   });
 
+  // Workload 4: NAND chain — negation interleaved with conjunction. This is
+  // the shape complement edges exist for: every Not is a bit flip, and each
+  // intermediate function shares its node DAG with its complement, so the
+  // chain allocates half the nodes a plain-edge kernel needs.
+  TimeWorkload("not_chain_96", 2000, [] {
+    BddManager m(96);
+    BddRef g = m.VarTrue(0);
+    for (int i = 1; i < 96; ++i) g = m.Not(m.And(g, m.VarTrue(i)));
+    benchmark::DoNotOptimize(g);
+  });
+  {
+    BddManager m(96);
+    BddRef g = m.VarTrue(0);
+    for (int i = 1; i < 96; ++i) g = m.Not(m.And(g, m.VarTrue(i)));
+    metrics.Record("not_chain_96_nodes", static_cast<double>(m.NodeCount(g)));
+    metrics.Record("not_chain_96_arena",
+                   static_cast<double>(m.Stats().arena_size));
+  }
+  // Workload 5: pairwise difference probes over a pool of prefix-range
+  // sets — Campion's semantic-diff pattern (A ∧ ¬B for every route-map
+  // clause pair). Standardized triples let Diff(a, b) and Subset(b, a)
+  // share computed-cache entries.
+  TimeWorkload("diff_pairs_16", 100, [] {
+    BddManager m;
+    campion::encode::RouteAdvLayout layout(m, {});
+    std::vector<BddRef> pool;
+    for (int i = 0; i < 16; ++i) {
+      pool.push_back(layout.MatchPrefixRange(campion::util::PrefixRange(
+          campion::util::Prefix(
+              campion::util::Ipv4Address(
+                  10, static_cast<std::uint8_t>(i * 8), 0, 0),
+              16),
+          16, static_cast<std::uint8_t>(17 + (i % 8)))));
+    }
+    for (BddRef a : pool) {
+      for (BddRef b : pool) {
+        BddRef d = m.Diff(a, b);
+        benchmark::DoNotOptimize(d);
+        bool sub = m.Subset(a, b);
+        benchmark::DoNotOptimize(sub);
+      }
+    }
+  });
+  {
+    BddManager m;
+    campion::encode::RouteAdvLayout layout(m, {});
+    std::vector<BddRef> pool;
+    for (int i = 0; i < 16; ++i) {
+      pool.push_back(layout.MatchPrefixRange(campion::util::PrefixRange(
+          campion::util::Prefix(
+              campion::util::Ipv4Address(
+                  10, static_cast<std::uint8_t>(i * 8), 0, 0),
+              16),
+          16, static_cast<std::uint8_t>(17 + (i % 8)))));
+    }
+    for (BddRef a : pool) {
+      for (BddRef b : pool) benchmark::DoNotOptimize(m.Diff(a, b));
+    }
+    metrics.Record("diff_pairs_16_arena",
+                   static_cast<double>(m.Stats().arena_size));
+  }
+
   // Kernel counters from a representative ITE-heavy manager.
   campion::bdd::BddStats stats = parity_mgr.Stats();
   std::cout << "parity manager kernel stats:\n"

@@ -13,6 +13,11 @@ constexpr std::size_t kInitialUniqueCapacity = 1u << 13;
 constexpr std::size_t kInitialCacheCapacity = 1u << 12;
 constexpr std::size_t kMaxCacheCapacity = 1u << 21;
 
+// IteFrame::state value for a frame whose triple is already standardized
+// and whose cache miss is already counted (the root of each Ite call);
+// states 0..2 are the raw-enter / low-done / high-done progression.
+constexpr std::uint8_t kStateExpand = 3;
+
 // 64-bit avalanche mix (splitmix64 finalizer) over the node key. The
 // unique table and the computed cache both need well-spread low bits
 // because capacity is a power of two.
@@ -31,11 +36,12 @@ inline std::uint64_t MixHash(std::uint64_t a, std::uint64_t b,
 }  // namespace
 
 BddManager::BddManager(Var num_vars) : num_vars_(num_vars) {
-  nodes_.push_back({kTerminalVar, kFalse, kFalse});  // 0: false terminal
-  nodes_.push_back({kTerminalVar, kTrue, kTrue});    // 1: true terminal
+  // A single terminal node at index 0: reference 0 (regular) is false,
+  // reference 1 (complemented) is true.
+  nodes_.push_back({kTerminalVar, kFalse, kFalse});
   peak_live_nodes_ = nodes_.size();
   var_true_.resize(num_vars_, kFalse);
-  unique_slots_.assign(kInitialUniqueCapacity, kFalse);
+  unique_slots_.assign(kInitialUniqueCapacity, 0);
   unique_mask_ = kInitialUniqueCapacity - 1;
   ite_cache_.assign(kInitialCacheCapacity, CacheEntry{});
   cache_mask_ = kInitialCacheCapacity - 1;
@@ -60,40 +66,46 @@ BddRef BddManager::VarFalse(Var v) { return Not(VarTrue(v)); }
 
 BddRef BddManager::MakeNode(Var var, BddRef low, BddRef high) {
   if (low == high) return low;
+  // Canonical regular-then-edge invariant: never intern a node whose high
+  // edge is complemented. Intern the complemented function instead
+  // (¬(v ? h : l) == v ? ¬h : ¬l) and flip the returned reference.
+  BddRef out_complement = high & kComplementBit;
+  low ^= out_complement;
+  high ^= out_complement;
   ++stat_unique_lookups_;
   std::size_t idx = MixHash(var, low, high) & unique_mask_;
   while (true) {
     ++stat_unique_probes_;
     BddRef slot = unique_slots_[idx];
-    if (slot == kFalse) break;  // Empty: the node is new.
+    if (slot == 0) break;  // Empty: the node is new.
     const Node& n = nodes_[slot];
     if (n.var == var && n.low == low && n.high == high) {
       ++stat_unique_hits_;
-      return slot;
+      return (slot << 1) | out_complement;
     }
     idx = (idx + 1) & unique_mask_;
   }
-  BddRef ref = static_cast<BddRef>(nodes_.size());
+  BddRef index = static_cast<BddRef>(nodes_.size());
   nodes_.push_back({var, low, high});
   if (nodes_.size() > peak_live_nodes_) peak_live_nodes_ = nodes_.size();
-  unique_slots_[idx] = ref;
+  unique_slots_[idx] = index;
   // Rehash at 50% load: linear probing stays short and slots are 4 bytes.
   if (++unique_size_ * 2 >= unique_slots_.size()) {
     RehashUnique(unique_slots_.size() * 2);
     MaybeGrowCache();
   }
-  return ref;
+  return (index << 1) | out_complement;
 }
 
 void BddManager::RehashUnique(std::size_t new_capacity) {
   ++stat_rehashes_;
-  unique_slots_.assign(new_capacity, kFalse);
+  unique_slots_.assign(new_capacity, 0);
   unique_mask_ = new_capacity - 1;
-  for (BddRef ref = kTrue + 1; ref < nodes_.size(); ++ref) {
-    const Node& n = nodes_[ref];
+  for (BddRef index = 1; index < nodes_.size(); ++index) {
+    const Node& n = nodes_[index];
     std::size_t idx = MixHash(n.var, n.low, n.high) & unique_mask_;
-    while (unique_slots_[idx] != kFalse) idx = (idx + 1) & unique_mask_;
-    unique_slots_[idx] = ref;
+    while (unique_slots_[idx] != 0) idx = (idx + 1) & unique_mask_;
+    unique_slots_[idx] = index;
   }
 }
 
@@ -108,90 +120,160 @@ void BddManager::MaybeGrowCache() {
   ite_cache_.assign(new_capacity, CacheEntry{});
   cache_mask_ = new_capacity - 1;
   for (const CacheEntry& e : old) {
-    if (e.f == kFalse) continue;
+    if (e.f == 0) continue;
     ite_cache_[MixHash(e.f, e.g, e.h) & cache_mask_] = e;
   }
 }
 
-BddRef BddManager::Ite(BddRef f, BddRef g, BddRef h) {
-  // Terminal fast path: most calls from the And/Or/Not wrappers resolve
-  // here without touching the frame stack.
-  if (f == kTrue) return g;
-  if (f == kFalse) return h;
-  if (g == h) return g;
-  if (g == kTrue && h == kFalse) return f;
+bool BddManager::RankBefore(BddRef a, BddRef b) const {
+  // Any deterministic, complement-insensitive total order canonicalizes
+  // the commutative triples; comparing arena indices does it without
+  // touching node memory, which keeps normalization load-free on the
+  // computed-cache hit path (ranking by top variable instead would cost
+  // two dependent node loads per And/Or call).
+  return (a >> 1) < (b >> 1);
+}
 
-  // Top-level cache probe: a warm hit returns without stack setup. A miss
-  // is not counted here — the root frame's probe below counts it.
+bool BddManager::NormalizeIte(BddRef& f, BddRef& g, BddRef& h, bool& negate,
+                              BddRef& result) const {
+  negate = false;
+  // Constant condition.
+  if (f == kTrue) { result = g; return true; }
+  if (f == kFalse) { result = h; return true; }
+  // Operands equal (or complementary) to the condition collapse to
+  // constants: Ite(f,f,h)=Ite(f,1,h), Ite(f,¬f,h)=Ite(f,0,h),
+  // Ite(f,g,f)=Ite(f,g,0), Ite(f,g,¬f)=Ite(f,g,1).
+  if (g == f) {
+    g = kTrue;
+  } else if (g == Not(f)) {
+    g = kFalse;
+  }
+  if (h == f) {
+    h = kFalse;
+  } else if (h == Not(f)) {
+    h = kTrue;
+  }
+  // Trivial results.
+  if (g == h) { result = g; return true; }
+  if (g == kTrue && h == kFalse) { result = f; return true; }
+  if (g == kFalse && h == kTrue) { result = Not(f); return true; }
+  // Commutative forms: order the two interchangeable operands by rank so
+  // e.g. Or(f,h) and Or(h,f) share one cache key. Each rewrite below is an
+  // identity on the denoted function; the swapped-in condition is never a
+  // terminal (the trivial checks above removed those cases).
+  if (g == kTrue) {  // Ite(f,1,h) == Ite(h,1,f)            (f ∨ h)
+    if (RankBefore(h, f)) std::swap(f, h);
+  } else if (h == kFalse) {  // Ite(f,g,0) == Ite(g,f,0)    (f ∧ g)
+    if (RankBefore(g, f)) std::swap(f, g);
+  } else if (g == kFalse) {  // Ite(f,0,h) == Ite(¬h,0,¬f)  (¬f ∧ h)
+    if (RankBefore(h, f)) {
+      BddRef t = f;
+      f = Not(h);
+      h = Not(t);
+    }
+  } else if (h == kTrue) {  // Ite(f,g,1) == Ite(¬g,¬f,1)   (¬f ∨ g)
+    if (RankBefore(g, f)) {
+      BddRef t = f;
+      f = Not(g);
+      g = Not(t);
+    }
+  } else if (g == Not(h)) {  // Ite(f,g,¬g) == Ite(g,f,¬f)  (f ⟺ g)
+    if (RankBefore(g, f)) {
+      BddRef t = f;
+      f = g;
+      g = t;
+      h = Not(t);
+    }
+  }
+  // Complement canonicalization: make the condition regular
+  // (Ite(¬f,g,h) == Ite(f,h,g)), then the then-operand
+  // (Ite(f,g,h) == ¬Ite(f,¬g,¬h)), recording the pending negation.
+  if (IsComplement(f)) {
+    f = Regular(f);
+    std::swap(g, h);
+  }
+  if (IsComplement(g)) {
+    g = Regular(g);
+    h = Not(h);
+    negate = true;
+  }
+  return false;
+}
+
+BddRef BddManager::Ite(BddRef f, BddRef g, BddRef h) {
+  // Standardize up front: trivial calls (including every Not/constant
+  // form) resolve here without touching the frame stack, and the
+  // canonical triple gives warm calls a single cache probe.
+  bool negate;
+  BddRef resolved;
+  if (NormalizeIte(f, g, h, negate, resolved)) return resolved;
   {
     const CacheEntry& e = ite_cache_[MixHash(f, g, h) & cache_mask_];
     if (e.f == f && e.g == g && e.h == h) {
       ++stat_cache_hits_;
-      return e.result;
+      return negate ? Not(e.result) : e.result;
     }
   }
+  ++stat_cache_misses_;
 
   ite_frames_.clear();
   ite_values_.clear();
-  ite_frames_.push_back({f, g, h, 0, 0, 0, 0, 0, 0});
+  // The root triple is already standardized and its miss counted, so it
+  // enters at the expansion state; its pending negation is applied on
+  // return below rather than carried in the frame.
+  ite_frames_.push_back({f, g, h, 0, 0, 0, 0, 0, kStateExpand, 0});
 
   while (!ite_frames_.empty()) {
     IteFrame& fr = ite_frames_.back();
     switch (fr.state) {
       case 0: {
-        // Terminal cases produce a value immediately.
-        if (fr.f == kTrue) {
-          ite_values_.push_back(fr.g);
+        bool sub_negate;
+        BddRef sub_resolved;
+        if (NormalizeIte(fr.f, fr.g, fr.h, sub_negate, sub_resolved)) {
+          ite_values_.push_back(sub_resolved);
           ite_frames_.pop_back();
           break;
         }
-        if (fr.f == kFalse) {
-          ite_values_.push_back(fr.h);
-          ite_frames_.pop_back();
-          break;
-        }
-        if (fr.g == fr.h) {
-          ite_values_.push_back(fr.g);
-          ite_frames_.pop_back();
-          break;
-        }
-        if (fr.g == kTrue && fr.h == kFalse) {
-          ite_values_.push_back(fr.f);
-          ite_frames_.pop_back();
-          break;
-        }
+        fr.negate = sub_negate ? kComplementBit : 0;
         const CacheEntry& e =
             ite_cache_[MixHash(fr.f, fr.g, fr.h) & cache_mask_];
         if (e.f == fr.f && e.g == fr.g && e.h == fr.h) {
           ++stat_cache_hits_;
-          ite_values_.push_back(e.result);
+          ite_values_.push_back(e.result ^ fr.negate);
           ite_frames_.pop_back();
           break;
         }
         ++stat_cache_misses_;
+        [[fallthrough]];
+      }
+      case kStateExpand: {
+        // Cofactor at the top variable. The condition is regular after
+        // normalization; g and h may carry complement bits, which
+        // propagate onto their child edges.
+        const Node& nf = nodes_[fr.f >> 1];
+        const Node& ng = nodes_[fr.g >> 1];
+        const Node& nh = nodes_[fr.h >> 1];
+        Var top = std::min({nf.var, ng.var, nh.var});
 
-        Var vf = nodes_[fr.f].var;
-        Var vg = nodes_[fr.g].var;  // kTerminalVar sorts after all vars.
-        Var vh = nodes_[fr.h].var;
-        Var top = std::min({vf, vg, vh});
-
-        BddRef f0 = vf == top ? nodes_[fr.f].low : fr.f;
-        BddRef g0 = vg == top ? nodes_[fr.g].low : fr.g;
-        BddRef h0 = vh == top ? nodes_[fr.h].low : fr.h;
-        fr.f1 = vf == top ? nodes_[fr.f].high : fr.f;
-        fr.g1 = vg == top ? nodes_[fr.g].high : fr.g;
-        fr.h1 = vh == top ? nodes_[fr.h].high : fr.h;
+        BddRef cg = fr.g & kComplementBit;
+        BddRef ch = fr.h & kComplementBit;
+        BddRef f0 = nf.var == top ? nf.low : fr.f;
+        BddRef g0 = ng.var == top ? ng.low ^ cg : fr.g;
+        BddRef h0 = nh.var == top ? nh.low ^ ch : fr.h;
+        fr.f1 = nf.var == top ? nf.high : fr.f;
+        fr.g1 = ng.var == top ? ng.high ^ cg : fr.g;
+        fr.h1 = nh.var == top ? nh.high ^ ch : fr.h;
         fr.top = top;
         fr.state = 1;
         // push_back may invalidate `fr`; it is not used past this point.
-        ite_frames_.push_back({f0, g0, h0, 0, 0, 0, 0, 0, 0});
+        ite_frames_.push_back({f0, g0, h0, 0, 0, 0, 0, 0, 0, 0});
         break;
       }
       case 1: {
         fr.low = ite_values_.back();
         ite_values_.pop_back();
         fr.state = 2;
-        ite_frames_.push_back({fr.f1, fr.g1, fr.h1, 0, 0, 0, 0, 0, 0});
+        ite_frames_.push_back({fr.f1, fr.g1, fr.h1, 0, 0, 0, 0, 0, 0, 0});
         break;
       }
       default: {  // state 2: both cofactors resolved.
@@ -200,14 +282,14 @@ BddRef BddManager::Ite(BddRef f, BddRef g, BddRef h) {
         BddRef result = MakeNode(fr.top, fr.low, high);
         ite_cache_[MixHash(fr.f, fr.g, fr.h) & cache_mask_] = {fr.f, fr.g,
                                                                fr.h, result};
-        ite_values_.push_back(result);
+        ite_values_.push_back(result ^ fr.negate);
         ite_frames_.pop_back();
         break;
       }
     }
   }
   assert(ite_values_.size() == 1);
-  return ite_values_.back();
+  return negate ? Not(ite_values_.back()) : ite_values_.back();
 }
 
 BddStats BddManager::Stats() const {
@@ -247,32 +329,31 @@ BddMemoryStats BddManager::MemoryStats() const {
 
 double BddManager::SatCount(BddRef f) {
   std::unordered_map<BddRef, double> memo;
-  // SatCountRec counts assignments to variables strictly below the node's
-  // own variable; scale by the free variables above the root. Exponents are
-  // computed in int so terminal sentinels (kTerminalVar) can never wrap the
-  // unsigned subtraction into a huge power.
-  double below = SatCountRec(f, memo);
-  int root_var = IsTerminal(f) ? static_cast<int>(num_vars_)
-                               : static_cast<int>(nodes_[f].var);
-  return std::ldexp(below, root_var);
+  return SatCountRec(f, memo);
 }
 
+// Counts assignments over all num_vars_ variables. The memo is keyed by
+// node *index* and stores the count of the node's regular function; a
+// complemented reference reads the same entry and returns the complement
+// against 2^num_vars. Counts of a node's children are always even (each
+// child is independent of the parent's variable), so the halving below is
+// exact in double precision up to the documented 2^53 bound.
 double BddManager::SatCountRec(BddRef f,
                                std::unordered_map<BddRef, double>& memo) {
   if (f == kFalse) return 0.0;
-  if (f == kTrue) return 1.0;
-  if (auto it = memo.find(f); it != memo.end()) return it->second;
-  const Node& n = nodes_[f];
-  auto weight = [&](BddRef child) {
-    int child_var = IsTerminal(child) ? static_cast<int>(num_vars_)
-                                      : static_cast<int>(nodes_[child].var);
-    int exponent = child_var - static_cast<int>(n.var) - 1;
-    assert(exponent >= 0);  // Children are strictly below their parent.
-    return std::ldexp(SatCountRec(child, memo), exponent);
-  };
-  double count = weight(n.low) + weight(n.high);
-  memo.emplace(f, count);
-  return count;
+  if (f == kTrue) return std::ldexp(1.0, static_cast<int>(num_vars_));
+  const BddRef index = f >> 1;
+  double regular;
+  if (auto it = memo.find(index); it != memo.end()) {
+    regular = it->second;
+  } else {
+    const Node& n = nodes_[index];
+    regular = 0.5 * (SatCountRec(n.low, memo) + SatCountRec(n.high, memo));
+    memo.emplace(index, regular);
+  }
+  return (f & kComplementBit) != 0
+             ? std::ldexp(1.0, static_cast<int>(num_vars_)) - regular
+             : regular;
 }
 
 void BddManager::BeginVisit() const {
@@ -293,11 +374,11 @@ std::size_t BddManager::NodeCount(BddRef f) const {
   while (!visit_stack_.empty()) {
     BddRef n = visit_stack_.back();
     visit_stack_.pop_back();
-    if (IsTerminal(n) || Visited(n)) continue;
-    MarkVisited(n);
+    if (IsTerminal(n) || Visited(n >> 1)) continue;
+    MarkVisited(n >> 1);
     ++count;
-    visit_stack_.push_back(nodes_[n].low);
-    visit_stack_.push_back(nodes_[n].high);
+    visit_stack_.push_back(nodes_[n >> 1].low);
+    visit_stack_.push_back(nodes_[n >> 1].high);
   }
   return count;
 }
@@ -310,11 +391,11 @@ std::vector<Var> BddManager::Support(BddRef f) const {
   while (!visit_stack_.empty()) {
     BddRef n = visit_stack_.back();
     visit_stack_.pop_back();
-    if (IsTerminal(n) || Visited(n)) continue;
-    MarkVisited(n);
-    vars.push_back(nodes_[n].var);
-    visit_stack_.push_back(nodes_[n].low);
-    visit_stack_.push_back(nodes_[n].high);
+    if (IsTerminal(n) || Visited(n >> 1)) continue;
+    MarkVisited(n >> 1);
+    vars.push_back(nodes_[n >> 1].var);
+    visit_stack_.push_back(nodes_[n >> 1].low);
+    visit_stack_.push_back(nodes_[n >> 1].high);
   }
   std::sort(vars.begin(), vars.end());
   vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
@@ -325,13 +406,13 @@ std::optional<Cube> BddManager::AnySat(BddRef f) const {
   if (f == kFalse) return std::nullopt;
   Cube cube(num_vars_, -1);
   while (f != kTrue) {
-    const Node& n = nodes_[f];
-    if (n.high != kFalse) {
-      cube[n.var] = 1;
-      f = n.high;
+    BddRef high = NodeHigh(f);
+    if (high != kFalse) {
+      cube[NodeVar(f)] = 1;
+      f = high;
     } else {
-      cube[n.var] = 0;
-      f = n.low;
+      cube[NodeVar(f)] = 0;
+      f = NodeLow(f);
     }
   }
   return cube;
@@ -341,13 +422,13 @@ std::optional<Cube> BddManager::MinSat(BddRef f) const {
   if (f == kFalse) return std::nullopt;
   Cube cube(num_vars_, 0);  // Don't-cares resolve to 0 (lexicographic least).
   while (f != kTrue) {
-    const Node& n = nodes_[f];
-    if (n.low != kFalse) {
-      cube[n.var] = 0;
-      f = n.low;
+    BddRef low = NodeLow(f);
+    if (low != kFalse) {
+      cube[NodeVar(f)] = 0;
+      f = low;
     } else {
-      cube[n.var] = 1;
-      f = n.high;
+      cube[NodeVar(f)] = 1;
+      f = NodeHigh(f);
     }
   }
   return cube;
@@ -363,12 +444,12 @@ void BddManager::ForEachSatPath(
       fn(cube);
       return;
     }
-    const Node& n = nodes_[g];
-    cube[n.var] = 0;
-    rec(n.low);
-    cube[n.var] = 1;
-    rec(n.high);
-    cube[n.var] = -1;
+    Var v = NodeVar(g);
+    cube[v] = 0;
+    rec(NodeLow(g));
+    cube[v] = 1;
+    rec(NodeHigh(g));
+    cube[v] = -1;
   };
   rec(f);
 }
@@ -381,10 +462,14 @@ BddRef BddManager::Exists(BddRef f, const std::vector<bool>& quantified) {
 BddRef BddManager::ExistsRec(BddRef f, const std::vector<bool>& quantified,
                              std::unordered_map<BddRef, BddRef>& memo) {
   if (IsTerminal(f)) return f;
+  // The memo is keyed by the full reference: quantification does not
+  // commute with complement (∃v.¬f ≠ ¬∃v.f), so f and ¬f memoize
+  // separately even though they share nodes.
   if (auto it = memo.find(f); it != memo.end()) return it->second;
-  const Node n = nodes_[f];  // Copy: nodes_ may reallocate during recursion.
-  BddRef low = ExistsRec(n.low, quantified, memo);
-  BddRef high = ExistsRec(n.high, quantified, memo);
+  const BddRef c = f & kComplementBit;
+  const Node n = nodes_[f >> 1];  // Copy: nodes_ may reallocate during recursion.
+  BddRef low = ExistsRec(n.low ^ c, quantified, memo);
+  BddRef high = ExistsRec(n.high ^ c, quantified, memo);
   BddRef result = (n.var < quantified.size() && quantified[n.var])
                       ? Or(low, high)
                       : MakeNode(n.var, low, high);

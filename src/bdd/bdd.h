@@ -1,6 +1,7 @@
 #pragma once
 
-// A from-scratch reduced ordered binary decision diagram (ROBDD) package.
+// A from-scratch reduced ordered binary decision diagram (ROBDD) package
+// with complement (attributed) edges.
 //
 // This is Campion's symbolic substrate, standing in for the JavaBDD library
 // used by the paper. Sets of packets, route advertisements, and IP prefix
@@ -9,6 +10,20 @@
 // differencing task owns one, so nodes live for the task.
 //
 // The kernel is laid out for speed, CUDD-style:
+//   * references carry a complement bit: a BddRef packs a node-arena index
+//     in its upper 31 bits and a complement flag in bit 0, so negation is a
+//     single XOR — no traversal, no cache traffic — and a function and its
+//     complement share one DAG (roughly halving live nodes on
+//     negation-heavy workloads such as Campion's A ∧ ¬B difference checks);
+//   * canonicity is kept by the regular-then-edge invariant: MakeNode never
+//     interns a node whose high (then) edge is complemented — it interns
+//     the complemented function instead and flips the returned reference;
+//   * Ite normalizes every call to a CUDD-style standard triple (trivial
+//     and constant-operand rewrites, commutative argument reordering by
+//     top-variable rank, then complement canonicalization so the first and
+//     second operands are regular) before consulting the computed cache,
+//     so Ite(f,g,h), Ite(¬f,h,g), and complemented-result variants such as
+//     Or(¬f,¬g) vs ¬And(f,g) all fold into one cache entry;
 //   * the unique table is a single flat open-addressing array (power-of-two
 //     capacity, linear probing, amortized doubling) whose slots are node
 //     indices — keys live in the node arena itself, so a probe touches at
@@ -21,10 +36,15 @@
 //   * traversals (NodeCount, Support) reuse a per-manager visited-stamp
 //     vector instead of allocating set containers.
 //
-// Node references (BddRef) are indices into the manager's arena and are only
-// meaningful with respect to the manager that produced them. Reference 0 is
-// the false terminal and 1 is the true terminal; equal references denote
-// equal Boolean functions (canonicity), so equivalence checks are O(1).
+// Node references (BddRef) are only meaningful with respect to the manager
+// that produced them. There is a single terminal node at arena index 0;
+// reference 0 (the terminal, regular) is false and reference 1 (the
+// terminal, complemented) is true. Equal references denote equal Boolean
+// functions (canonicity), so equivalence checks are O(1), and
+// Not(f) == f ^ 1 for every f. Functions touching node structure directly
+// (NodeLow/NodeHigh) resolve the complement parity for the caller: they
+// return the cofactors of the *function* the reference denotes, so
+// structural walks in src/encode and tests need no parity bookkeeping.
 
 #include <cstdint>
 #include <functional>
@@ -37,8 +57,11 @@ namespace campion::bdd {
 using BddRef = std::uint32_t;
 using Var = std::uint32_t;
 
-inline constexpr BddRef kFalse = 0;
-inline constexpr BddRef kTrue = 1;
+// Bit 0 of a BddRef is the complement flag; the node index is ref >> 1.
+inline constexpr BddRef kComplementBit = 1;
+
+inline constexpr BddRef kFalse = 0;  // Terminal node 0, regular.
+inline constexpr BddRef kTrue = 1;   // Terminal node 0, complemented.
 
 // A (possibly partial) truth assignment: one entry per variable,
 // -1 = don't care, 0 = false, 1 = true.
@@ -48,7 +71,7 @@ using Cube = std::vector<std::int8_t>;
 // accumulate over the manager's lifetime; benchmarks snapshot them before
 // and after a workload to report per-phase numbers.
 struct BddStats {
-  std::size_t arena_size = 0;       // Nodes allocated, including terminals.
+  std::size_t arena_size = 0;       // Nodes allocated, including the terminal.
   std::size_t unique_capacity = 0;  // Open-addressing table slots.
   std::uint64_t unique_lookups = 0; // MakeNode calls that consulted the table.
   std::uint64_t unique_probes = 0;  // Total probe steps across all lookups.
@@ -109,10 +132,14 @@ class BddManager {
   BddRef VarFalse(Var v);  // The function "variable v is 0".
 
   // --- Boolean connectives ------------------------------------------------
+  // With complement edges, negation is a bit flip and every binary
+  // connective is exactly one Ite call — no intermediate Not traversals,
+  // and the standard-triple normalization inside Ite folds the symmetric
+  // and complemented variants into shared computed-cache entries.
   BddRef Ite(BddRef f, BddRef g, BddRef h);
+  BddRef Not(BddRef f) const { return f ^ kComplementBit; }
   BddRef And(BddRef f, BddRef g) { return Ite(f, g, kFalse); }
   BddRef Or(BddRef f, BddRef g) { return Ite(f, kTrue, g); }
-  BddRef Not(BddRef f) { return Ite(f, kFalse, kTrue); }
   BddRef Xor(BddRef f, BddRef g) { return Ite(f, Not(g), g); }
   BddRef Diff(BddRef f, BddRef g) { return Ite(g, kFalse, f); }
   BddRef Implies(BddRef f, BddRef g) { return Ite(f, g, kTrue); }
@@ -121,7 +148,7 @@ class BddManager {
   // --- Queries -------------------------------------------------------------
   bool IsFalse(BddRef f) const { return f == kFalse; }
   bool IsTrue(BddRef f) const { return f == kTrue; }
-  // f => g, i.e. f ∧ ¬g is empty.
+  // f => g, i.e. f ∧ ¬g is empty. One Ite; the negation is free.
   bool Subset(BddRef f, BddRef g) { return And(f, Not(g)) == kFalse; }
   // f ∧ g non-empty.
   bool Intersects(BddRef f, BddRef g) { return And(f, g) != kFalse; }
@@ -130,9 +157,12 @@ class BddManager {
   // Exact for up to 2^53 assignments; beyond that, the usual double rounding.
   double SatCount(BddRef f);
 
-  // Number of internal (non-terminal) nodes reachable from f.
+  // Number of internal (non-terminal) nodes reachable from f. A function
+  // and its complement share the same nodes, so this is the size of the
+  // shared DAG, not of a complement-free expansion.
   std::size_t NodeCount(BddRef f) const;
-  // Total nodes allocated in this manager (arena size, including terminals).
+  // Total nodes allocated in this manager (arena size, including the
+  // terminal node).
   std::size_t ArenaSize() const { return nodes_.size(); }
 
   // Kernel counters (arena size, probe lengths, cache hit rate).
@@ -162,23 +192,34 @@ class BddManager {
   // `quantified` may be shorter than num_vars(); missing entries are false.
   BddRef Exists(BddRef f, const std::vector<bool>& quantified);
 
-  // Structure access (used by encode/ for prefix extraction).
-  Var NodeVar(BddRef f) const { return nodes_[f].var; }
-  BddRef NodeLow(BddRef f) const { return nodes_[f].low; }
-  BddRef NodeHigh(BddRef f) const { return nodes_[f].high; }
+  // Structure access (used by encode/ for prefix extraction). The accessors
+  // resolve complement parity: NodeLow/NodeHigh return the cofactors of the
+  // *function* f denotes (the stored child edges XOR f's complement bit),
+  // so f == Ite(VarTrue(NodeVar(f)), NodeHigh(f), NodeLow(f)) always holds.
+  Var NodeVar(BddRef f) const { return nodes_[f >> 1].var; }
+  BddRef NodeLow(BddRef f) const {
+    return nodes_[f >> 1].low ^ (f & kComplementBit);
+  }
+  BddRef NodeHigh(BddRef f) const {
+    return nodes_[f >> 1].high ^ (f & kComplementBit);
+  }
   bool IsTerminal(BddRef f) const { return f <= kTrue; }
+  static bool IsComplement(BddRef f) { return (f & kComplementBit) != 0; }
+  // The reference with the complement bit cleared (the stored node's own
+  // function). Exposed so tests can check the regular-then-edge invariant.
+  static BddRef Regular(BddRef f) { return f & ~kComplementBit; }
 
  private:
   struct Node {
-    Var var;  // kTerminalVar for terminals.
-    BddRef low;
-    BddRef high;
+    Var var;      // kTerminalVar for the terminal.
+    BddRef low;   // Else edge; may carry a complement bit.
+    BddRef high;  // Then edge; always regular (canonical invariant).
   };
   static constexpr Var kTerminalVar = ~Var{0};
 
-  // Lossy computed-cache entry for Ite(f, g, h) = result. `f` is never a
-  // terminal when cached (terminal cases short-circuit), so f == 0 marks an
-  // empty slot.
+  // Lossy computed-cache entry for a *standardized* triple
+  // Ite(f, g, h) = result: f is regular and non-terminal (so f >= 2 and
+  // f == 0 marks an empty slot) and g is regular.
   struct CacheEntry {
     BddRef f = 0;
     BddRef g = 0;
@@ -188,33 +229,47 @@ class BddManager {
 
   // An ITE activation record for the explicit evaluation stack.
   struct IteFrame {
-    BddRef f, g, h;     // The original triple (cache key).
-    BddRef f1, g1, h1;  // High cofactors, saved for the second visit.
-    BddRef low;         // Result of the low branch.
-    Var top;            // Branching variable.
-    std::uint8_t state; // 0 = enter, 1 = low done, 2 = high done.
+    BddRef f, g, h;      // Standardized triple (cache key) once state > 0.
+    BddRef f1, g1, h1;   // High cofactors, saved for the second visit.
+    BddRef low;          // Result of the low branch.
+    Var top;             // Branching variable.
+    std::uint8_t state;  // 0 = enter, 1 = low done, 2 = high done,
+                         // 3 = expand (pre-standardized root).
+    std::uint8_t negate; // Standardization complemented the result.
   };
 
   BddRef MakeNode(Var var, BddRef low, BddRef high);
   void RehashUnique(std::size_t new_capacity);
   void MaybeGrowCache();
+  // Applies the ITE standard-triple rules in place: constant-operand
+  // substitution, trivial-result detection, commutative argument reordering
+  // by rank, and complement canonicalization (f and g regular). Returns
+  // true when the call resolves without recursion (result in *result);
+  // otherwise leaves the canonical triple in f/g/h and sets *negate when
+  // the recursion's result must be complemented on return.
+  bool NormalizeIte(BddRef& f, BddRef& g, BddRef& h, bool& negate,
+                    BddRef& result) const;
+  // Deterministic operand order for commutative standard triples:
+  // complement-insensitive arena-index comparison (no node loads).
+  bool RankBefore(BddRef a, BddRef b) const;
   BddRef ExistsRec(BddRef f, const std::vector<bool>& quantified,
                    std::unordered_map<BddRef, BddRef>& memo);
   double SatCountRec(BddRef f, std::unordered_map<BddRef, double>& memo);
   // Starts a stamped traversal: bumps the visit stamp (resetting marks on
-  // wraparound) and sizes the mark vector to the arena.
+  // wraparound) and sizes the mark vector to the arena. Marks are per node
+  // *index*, so a function and its complement share one mark.
   void BeginVisit() const;
-  bool Visited(BddRef f) const {
-    return visit_mark_[f] == visit_stamp_;
+  bool Visited(BddRef index) const {
+    return visit_mark_[index] == visit_stamp_;
   }
-  void MarkVisited(BddRef f) const { visit_mark_[f] = visit_stamp_; }
+  void MarkVisited(BddRef index) const { visit_mark_[index] = visit_stamp_; }
 
   Var num_vars_;
   std::vector<Node> nodes_;
   std::vector<BddRef> var_true_;  // Cache of single-variable functions.
 
   // Open-addressing unique table: power-of-two capacity, linear probing,
-  // slot value 0 (the false terminal, never interned) means empty.
+  // slot value 0 (the terminal's index, never interned) means empty.
   std::vector<BddRef> unique_slots_;
   std::size_t unique_mask_ = 0;
   std::size_t unique_size_ = 0;

@@ -1,13 +1,17 @@
-// Edge-case and stress coverage for the rewritten BDD kernel: the
+// Edge-case and stress coverage for the complement-edge BDD kernel: the
 // open-addressing unique table (growth/rehash canonicity), the lossy
 // computed cache, AddVars interleaved with node construction, short
-// quantifier vectors, terminal-function satisfying assignments, and a
-// randomized ITE-vs-truth-table oracle.
+// quantifier vectors, terminal-function satisfying assignments, O(1)
+// negation, ITE standard-triple symmetries, the regular-then-edge
+// canonicality invariant, and randomized oracles comparing the kernel
+// against brute-force truth-table evaluation (including complemented
+// roots).
 
 #include "bdd/bdd.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -96,7 +100,7 @@ TEST(BddKernelTest, UniqueTableRehashPreservesCanonicity) {
 TEST(BddKernelTest, StatsCountersAreCoherent) {
   BddManager mgr(32);
   BddStats before = mgr.Stats();
-  EXPECT_GE(before.arena_size, 2u);  // Terminals.
+  EXPECT_GE(before.arena_size, 1u);  // The shared terminal.
   BddRef f = kFalse;
   for (Var v = 0; v < 32; ++v) f = mgr.Xor(f, mgr.VarTrue(v));
   BddStats after = mgr.Stats();
@@ -108,13 +112,224 @@ TEST(BddKernelTest, StatsCountersAreCoherent) {
   EXPECT_GE(after.CacheHitRate(), 0.0);
   EXPECT_LE(after.CacheHitRate(), 1.0);
   EXPECT_GE(after.AvgProbeLength(), 1.0);
-  // Repeating an already-computed operation hits the lossy cache.
-  BddRef g = mgr.Not(f);
+  // Repeating an already-computed binary operation hits the lossy cache.
+  BddRef g = mgr.And(f, mgr.VarTrue(0));
   BddStats first = mgr.Stats();
-  EXPECT_EQ(mgr.Not(f), g);
+  EXPECT_EQ(mgr.And(f, mgr.VarTrue(0)), g);
   BddStats second = mgr.Stats();
   EXPECT_GT(second.cache_hits, first.cache_hits);
 }
+
+TEST(BddKernelTest, NotIsFreeOfKernelWork) {
+  // With complement edges, negation is a reference bit flip: no node
+  // allocation, no unique-table lookups, no cache traffic.
+  BddManager mgr(16);
+  BddRef f = kFalse;
+  for (Var v = 0; v < 16; ++v) f = mgr.Xor(f, mgr.VarTrue(v));
+  BddStats before = mgr.Stats();
+  BddRef g = mgr.Not(f);
+  BddStats after = mgr.Stats();
+  EXPECT_NE(g, f);
+  EXPECT_EQ(mgr.Not(g), f);  // Involution.
+  EXPECT_EQ(after.arena_size, before.arena_size);
+  EXPECT_EQ(after.unique_lookups, before.unique_lookups);
+  EXPECT_EQ(after.cache_lookups, before.cache_lookups);
+  // A function and its complement share one DAG.
+  EXPECT_EQ(mgr.NodeCount(g), mgr.NodeCount(f));
+}
+
+// Walks every node reachable from `f` and checks the canonical
+// complement-edge invariant: no interned node has a complemented then
+// (high) edge. Public accessors resolve parity, so the invariant is
+// visible through the *regular* reference of each node.
+void ExpectRegularThenEdges(const BddManager& mgr, BddRef f,
+                            std::vector<BddRef>& seen) {
+  if (mgr.IsTerminal(f)) return;
+  BddRef regular = BddManager::Regular(f);
+  if (std::find(seen.begin(), seen.end(), regular) != seen.end()) return;
+  seen.push_back(regular);
+  EXPECT_FALSE(BddManager::IsComplement(mgr.NodeHigh(regular)))
+      << "complemented then-edge on node ref " << regular;
+  ExpectRegularThenEdges(mgr, mgr.NodeLow(regular), seen);
+  ExpectRegularThenEdges(mgr, mgr.NodeHigh(regular), seen);
+}
+
+TEST(BddKernelTest, IteStandardTripleSymmetries) {
+  BddManager mgr(6);
+  std::mt19937_64 rng(1234);
+  auto random_fn = [&] {
+    BddRef f = kFalse;
+    for (int i = 0; i < 4; ++i) {
+      BddRef cube = kTrue;
+      for (Var v = 0; v < 6; ++v) {
+        switch (rng() % 3) {
+          case 0: cube = mgr.And(cube, mgr.VarTrue(v)); break;
+          case 1: cube = mgr.And(cube, mgr.VarFalse(v)); break;
+          default: break;
+        }
+      }
+      f = mgr.Or(f, cube);
+    }
+    return f;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    BddRef f = random_fn();
+    BddRef g = random_fn();
+    BddRef h = random_fn();
+    // The standard-triple identities the normalization folds together.
+    EXPECT_EQ(mgr.Ite(f, g, h), mgr.Ite(mgr.Not(f), h, g));
+    EXPECT_EQ(mgr.Ite(f, g, h), mgr.Not(mgr.Ite(f, mgr.Not(g), mgr.Not(h))));
+    EXPECT_EQ(mgr.And(f, g), mgr.And(g, f));
+    EXPECT_EQ(mgr.Or(f, g), mgr.Or(g, f));
+    EXPECT_EQ(mgr.Not(mgr.And(f, g)), mgr.Or(mgr.Not(f), mgr.Not(g)));
+    EXPECT_EQ(mgr.Xor(f, g), mgr.Xor(g, f));
+    EXPECT_EQ(mgr.Iff(f, g), mgr.Not(mgr.Xor(f, g)));
+    EXPECT_EQ(mgr.Diff(f, g), mgr.And(f, mgr.Not(g)));
+    EXPECT_EQ(mgr.Implies(f, g), mgr.Or(mgr.Not(f), g));
+    // Degenerate operands.
+    EXPECT_EQ(mgr.Ite(f, f, h), mgr.Or(f, h));
+    EXPECT_EQ(mgr.Ite(f, mgr.Not(f), h), mgr.And(mgr.Not(f), h));
+    EXPECT_EQ(mgr.Ite(f, g, f), mgr.And(f, g));
+    EXPECT_EQ(mgr.Ite(f, g, mgr.Not(f)), mgr.Implies(f, g));
+    std::vector<BddRef> seen;
+    ExpectRegularThenEdges(mgr, mgr.Ite(f, g, h), seen);
+  }
+}
+
+TEST(BddKernelTest, StandardTriplesShareCacheAcrossComplements) {
+  // Or(¬f,¬g) normalizes to the same computed-cache entry as And(f,g)
+  // (with a complemented result), so the second call must hit the warm
+  // cache and allocate nothing.
+  BddManager mgr(12);
+  std::mt19937_64 rng(77);
+  BddRef f = kFalse;
+  BddRef g = kFalse;
+  for (int i = 0; i < 5; ++i) {
+    BddRef cube_f = kTrue;
+    BddRef cube_g = kTrue;
+    for (Var v = 0; v < 12; ++v) {
+      if (rng() % 2) cube_f = mgr.And(cube_f, mgr.VarTrue(v));
+      if (rng() % 2) cube_g = mgr.And(cube_g, mgr.VarFalse(v));
+    }
+    f = mgr.Or(f, cube_f);
+    g = mgr.Or(g, cube_g);
+  }
+  BddRef conj = mgr.And(f, g);
+  BddStats before = mgr.Stats();
+  BddRef disj = mgr.Or(mgr.Not(f), mgr.Not(g));
+  BddStats after = mgr.Stats();
+  EXPECT_EQ(disj, mgr.Not(conj));
+  EXPECT_EQ(after.arena_size, before.arena_size);
+  EXPECT_EQ(after.cache_hits, before.cache_hits + 1);
+  EXPECT_EQ(after.cache_lookups, before.cache_lookups + 1);
+}
+
+// Randomized oracle for the complement-edge kernel: random expression
+// DAGs (with negation, so roots and intermediates carry complement bits)
+// are compared against brute-force truth-table evaluation over all 2^n
+// assignments for n <= 8, and every reachable node is checked for the
+// regular-then-edge canonicality invariant.
+class BddComplementOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddComplementOracleTest, MatchesBruteForceTruthTables) {
+  constexpr Var kVars = 8;
+  constexpr std::size_t kRows = std::size_t{1} << kVars;
+  BddManager mgr(kVars);
+  std::mt19937_64 rng(GetParam() * 104729 + 13);
+
+  struct Expr {
+    BddRef bdd;
+    std::vector<bool> table;
+  };
+  std::vector<Expr> pool;
+  pool.push_back({kTrue, std::vector<bool>(kRows, true)});
+  pool.push_back({kFalse, std::vector<bool>(kRows, false)});
+  for (Var v = 0; v < kVars; ++v) {
+    Expr e;
+    e.bdd = mgr.VarTrue(v);
+    e.table.resize(kRows);
+    for (std::size_t a = 0; a < kRows; ++a) {
+      e.table[a] = (a >> (kVars - 1 - v)) & 1u;
+    }
+    pool.push_back(std::move(e));
+  }
+
+  for (int step = 0; step < 60; ++step) {
+    const Expr& a = pool[rng() % pool.size()];
+    const Expr& b = pool[rng() % pool.size()];
+    const Expr& c = pool[rng() % pool.size()];
+    Expr e;
+    e.table.resize(kRows);
+    switch (rng() % 7) {
+      case 0:
+        e.bdd = mgr.And(a.bdd, b.bdd);
+        for (std::size_t i = 0; i < kRows; ++i)
+          e.table[i] = a.table[i] && b.table[i];
+        break;
+      case 1:
+        e.bdd = mgr.Or(a.bdd, b.bdd);
+        for (std::size_t i = 0; i < kRows; ++i)
+          e.table[i] = a.table[i] || b.table[i];
+        break;
+      case 2:
+        e.bdd = mgr.Xor(a.bdd, b.bdd);
+        for (std::size_t i = 0; i < kRows; ++i)
+          e.table[i] = a.table[i] != b.table[i];
+        break;
+      case 3:
+        e.bdd = mgr.Not(a.bdd);
+        for (std::size_t i = 0; i < kRows; ++i) e.table[i] = !a.table[i];
+        break;
+      case 4:
+        e.bdd = mgr.Diff(a.bdd, b.bdd);
+        for (std::size_t i = 0; i < kRows; ++i)
+          e.table[i] = a.table[i] && !b.table[i];
+        break;
+      case 5:
+        e.bdd = mgr.Iff(a.bdd, b.bdd);
+        for (std::size_t i = 0; i < kRows; ++i)
+          e.table[i] = a.table[i] == b.table[i];
+        break;
+      default:
+        e.bdd = mgr.Ite(a.bdd, b.bdd, c.bdd);
+        for (std::size_t i = 0; i < kRows; ++i)
+          e.table[i] = a.table[i] ? b.table[i] : c.table[i];
+        break;
+    }
+
+    // Brute force: evaluate the BDD on every assignment by walking with
+    // the parity-resolving structure accessors.
+    for (std::size_t a_idx = 0; a_idx < kRows; ++a_idx) {
+      BddRef node = e.bdd;
+      while (!mgr.IsTerminal(node)) {
+        Var v = mgr.NodeVar(node);
+        bool bit = (a_idx >> (kVars - 1 - v)) & 1u;
+        node = bit ? mgr.NodeHigh(node) : mgr.NodeLow(node);
+      }
+      ASSERT_EQ(node == kTrue, static_cast<bool>(e.table[a_idx]))
+          << "step " << step << " assignment " << a_idx;
+    }
+    // SatCount agrees with the table's popcount (complement parity is
+    // threaded through the count).
+    std::size_t ones = 0;
+    for (bool bit : e.table) ones += bit;
+    ASSERT_EQ(mgr.SatCount(e.bdd), static_cast<double>(ones)) << "step "
+                                                              << step;
+    // Canonicality: equal tables <=> equal references, including across
+    // complemented construction paths.
+    for (const Expr& other : pool) {
+      if (other.table == e.table) {
+        ASSERT_EQ(other.bdd, e.bdd) << "canonicity violated at step " << step;
+      }
+    }
+    std::vector<BddRef> seen;
+    ExpectRegularThenEdges(mgr, e.bdd, seen);
+    pool.push_back(std::move(e));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddComplementOracleTest,
+                         ::testing::Range(1, 7));
 
 // Randomized oracle: three-argument Ite over random operands must agree
 // with explicit truth-table evaluation for every assignment.

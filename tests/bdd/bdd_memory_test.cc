@@ -30,8 +30,10 @@ BddRef BuildWorkload(BddManager& mgr, Var num_vars) {
 TEST(BddMemoryTest, FreshManagerReportsRestingFootprint) {
   BddManager mgr(16);
   BddMemoryStats mem = mgr.MemoryStats();
-  // Terminals only: the arena holds two nodes, nothing has been interned.
-  EXPECT_EQ(mem.peak_live_nodes, 2u);
+  // The shared terminal only: the arena holds one node (false is the
+  // regular reference to it, true the complemented one), nothing has been
+  // interned.
+  EXPECT_EQ(mem.peak_live_nodes, 1u);
   EXPECT_EQ(mem.rehash_count, 0u);
   EXPECT_EQ(mem.unique_load_factor, 0.0);
   EXPECT_GT(mem.node_arena_bytes, 0u);
@@ -64,10 +66,10 @@ TEST(BddMemoryTest, CounterIdentitiesHold) {
   BuildWorkload(mgr, 64);
   BddStats stats = mgr.Stats();
   // Every lookup either hit or missed; misses allocated a node, so the
-  // arena accounts for them exactly (plus the two terminals).
+  // arena accounts for them exactly (plus the shared terminal).
   EXPECT_GT(stats.unique_lookups, 0u);
   EXPECT_GE(stats.unique_lookups, stats.unique_hits);
-  EXPECT_EQ(stats.arena_size - 2,
+  EXPECT_EQ(stats.arena_size - 1,
             static_cast<std::size_t>(stats.unique_lookups -
                                      stats.unique_hits));
   // Each lookup probes at least once.
@@ -105,7 +107,7 @@ TEST(BddMemoryTest, PeakLiveNodesIsMonotoneAndTracksArena) {
     // No garbage collection: the peak equals the arena size.
     EXPECT_EQ(mem.peak_live_nodes, mgr.ArenaSize());
   }
-  EXPECT_GT(last_peak, 2u);
+  EXPECT_GT(last_peak, 1u);
 }
 
 TEST(BddMemoryTest, RehashCountAndLoadFactorUnderGrowth) {
@@ -115,7 +117,7 @@ TEST(BddMemoryTest, RehashCountAndLoadFactorUnderGrowth) {
   for (Var v = 0; v < 8192; ++v) mgr.VarTrue(v);
   BddStats stats = mgr.Stats();
   BddMemoryStats mem = mgr.MemoryStats();
-  EXPECT_EQ(stats.arena_size, 8192u + 2u);
+  EXPECT_EQ(stats.arena_size, 8192u + 1u);
   EXPECT_GE(mem.rehash_count, 1u);
   // The 50%-load rehash policy keeps the table at most half full.
   EXPECT_GT(mem.unique_load_factor, 0.0);

@@ -199,8 +199,12 @@ TEST(BddTest, NodeCountOfParity) {
   BddManager mgr(8);
   BddRef parity = kFalse;
   for (Var v = 0; v < 8; ++v) parity = mgr.Xor(parity, mgr.VarTrue(v));
-  // Parity has 2 internal nodes per level except the last: 2n - 1.
-  EXPECT_EQ(mgr.NodeCount(parity), 15u);
+  // With complement edges parity needs only one node per level: the two
+  // classic per-level nodes are complements of each other and share one
+  // arena node. (Without complement edges this function takes 2n - 1.)
+  EXPECT_EQ(mgr.NodeCount(parity), 8u);
+  // The complement shares the DAG outright.
+  EXPECT_EQ(mgr.NodeCount(mgr.Not(parity)), 8u);
 }
 
 TEST(BddTest, AddVarsExtendsOrder) {
