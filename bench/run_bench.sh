@@ -56,5 +56,30 @@ if [[ -f "${TRACE%.json}.prev.json" ]]; then
       "${TRACE%.json}.prev.json" "$TRACE" || true
 fi
 
+# Encoding-template A/B on the same committed pair: the template must be
+# invisible in the report (byte-identical stdout with the flag off or on)
+# and visible in the trace (an encode_template span and a smaller encode
+# phase). The trace diff is report-only here — the extra encode_template
+# span is a deliberate structural difference between the two traces, so
+# --fail_if_unmatched does not apply; the CI smoke job runs the same A/B.
+echo
+echo "--- encoding template A/B (off vs on) ---"
+AB_DIR="$(mktemp -d)"
+trap 'rm -rf "$AB_DIR"' EXIT
+run_ab() {
+  local mode="$1"
+  "$BUILD_DIR/src/tools/campion" --threads=1 --encoding_template="$mode" \
+      --trace_out="$AB_DIR/trace_$mode.json" \
+      examples/configs/university_core_cisco.cfg \
+      examples/configs/university_core_juniper.conf \
+      > "$AB_DIR/report_$mode.txt" || test $? -eq 2
+}
+run_ab off
+run_ab on
+cmp "$AB_DIR/report_off.txt" "$AB_DIR/report_on.txt"
+echo "stdout parity: OK (report byte-identical with the template off and on)"
+"$BUILD_DIR/src/tools/campion_trace_diff" \
+    "$AB_DIR/trace_off.json" "$AB_DIR/trace_on.json" || true
+
 echo
 echo "Wrote BENCH_bdd.json, BENCH_full_pipeline.json, and $TRACE"

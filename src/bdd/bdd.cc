@@ -47,6 +47,71 @@ BddManager::BddManager(Var num_vars) : num_vars_(num_vars) {
   cache_mask_ = kInitialCacheCapacity - 1;
 }
 
+void BddManager::SeedFrom(const BddManager& other) {
+  // Only a freshly constructed manager may be seeded: anything already
+  // interned here would collide with the copied arena's indices.
+  assert(num_vars_ == 0 && nodes_.size() == 1 && unique_size_ == 0);
+  num_vars_ = other.num_vars_;
+  nodes_ = other.nodes_;
+  var_true_ = other.var_true_;
+  unique_slots_ = other.unique_slots_;
+  unique_mask_ = other.unique_mask_;
+  unique_size_ = other.unique_size_;
+  // Fresh ITE cache, pre-sized to what MaybeGrowCache would have reached
+  // for this arena, so the first post-seed workload does not thrash a
+  // too-small cache (growth normally rides on unique-table rehashes, which
+  // the copied, already-grown table makes rare).
+  std::size_t cache_capacity = kInitialCacheCapacity;
+  while (cache_capacity < kMaxCacheCapacity && cache_capacity <= nodes_.size()) {
+    cache_capacity *= 2;
+  }
+  ite_cache_.assign(cache_capacity, CacheEntry{});
+  cache_mask_ = cache_capacity - 1;
+  // Counters restart: stats and memory accounting describe this manager's
+  // own work, with the seeded arena as the baseline.
+  peak_live_nodes_ = nodes_.size();
+  stat_rehashes_ = 0;
+  stat_unique_lookups_ = 0;
+  stat_unique_probes_ = 0;
+  stat_unique_hits_ = 0;
+  stat_cache_misses_ = 0;
+  stat_cache_hits_ = 0;
+  visit_mark_.clear();
+  visit_stamp_ = 0;
+  assert(CheckInvariants());
+}
+
+bool BddManager::CheckInvariants() const {
+  if (nodes_.empty() || nodes_[0].var != kTerminalVar) return false;
+  if (unique_size_ != nodes_.size() - 1) return false;
+  if ((unique_mask_ + 1) != unique_slots_.size()) return false;
+  for (BddRef index = 1; index < nodes_.size(); ++index) {
+    const Node& n = nodes_[index];
+    if (n.var >= num_vars_) return false;
+    if ((n.high & kComplementBit) != 0) return false;  // Regular-then-edge.
+    if (n.low == n.high) return false;                 // Reduced.
+    // Children sit strictly below the node in the variable order.
+    if ((n.low >> 1) != 0 && nodes_[n.low >> 1].var <= n.var) return false;
+    if ((n.high >> 1) != 0 && nodes_[n.high >> 1].var <= n.var) return false;
+  }
+  // Every interned node is findable through the unique table (so seeded
+  // managers intern new nodes without duplicating copied ones).
+  for (BddRef index = 1; index < nodes_.size(); ++index) {
+    const Node& n = nodes_[index];
+    std::size_t idx = MixHash(n.var, n.low, n.high) & unique_mask_;
+    bool found = false;
+    while (unique_slots_[idx] != 0) {
+      if (unique_slots_[idx] == index) {
+        found = true;
+        break;
+      }
+      idx = (idx + 1) & unique_mask_;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
 Var BddManager::AddVars(Var count) {
   Var first = num_vars_;
   num_vars_ += count;

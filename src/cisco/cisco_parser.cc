@@ -208,6 +208,11 @@ class Parser {
   void ParseInterfaceLine(const std::vector<std::string>& t,
                           const std::string& raw) {
     ir::Interface& iface = config().interfaces.back();
+    // Every continuation line belongs to the interface's span (like route-map
+    // clauses); extending only on some branches loses lines — e.g. a
+    // `shutdown` difference whose report text omitted the shutdown line.
+    iface.span.last_line = line_no_;
+    iface.span.text += "\n" + raw;
     if (t[0] == "ip" && t.size() >= 4 && t[1] == "address") {
       auto addr = Ipv4Address::Parse(t[2]);
       auto mask = Ipv4Address::Parse(t[3]);
@@ -222,8 +227,6 @@ class Parser {
       }
       iface.address = *addr;
       iface.prefix_length = *len;
-      iface.span.last_line = line_no_;
-      iface.span.text += "\n" + raw;
     } else if (t[0] == "ip" && t.size() >= 4 && t[1] == "ospf" &&
                t[2] == "cost") {
       if (auto cost = ParseNumber(t[3])) iface.ospf_cost = *cost;
@@ -693,7 +696,13 @@ class Parser {
         return;
       }
       ir::BgpNeighbor& neighbor = NeighborFor(*ip, raw);
-      neighbor.span.last_line = line_no_;
+      // Later attribute lines extend the span; keep the text in step with
+      // the claimed line range (NeighborFor already recorded the first
+      // line, so only genuinely new lines append).
+      if (line_no_ > neighbor.span.last_line) {
+        neighbor.span.last_line = line_no_;
+        neighbor.span.text += "\n" + raw;
+      }
       if (t[2] == "peer-group" && t.size() >= 4) {
         // Membership: inherited attributes are resolved in a post-pass so
         // group lines appearing later in the file still apply.

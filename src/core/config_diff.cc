@@ -3,12 +3,14 @@
 #include <cstddef>
 #include <functional>
 #include <iterator>
+#include <optional>
 #include <set>
 #include <utility>
 
 #include "bdd/bdd.h"
 #include "core/semantic_diff.h"
 #include "core/structural_diff.h"
+#include "encode/encoding_template.h"
 #include "encode/packet.h"
 #include "encode/route_adv.h"
 #include "obs/bdd_metrics.h"
@@ -64,30 +66,70 @@ const ir::RouteMap* ResolveMap(const ir::RouterConfig& config,
 std::vector<PresentedDifference> DiffRouteMapPairImpl(
     const ir::RouterConfig& config1, const std::string& name1,
     const ir::RouterConfig& config2, const std::string& name2,
-    std::vector<std::string>* warnings) {
+    std::vector<std::string>* warnings,
+    const encode::EncodingTemplate* tmpl = nullptr) {
   ir::RouteMap fallback = PassThroughMap();
   const ir::RouteMap* map1 = ResolveMap(config1, name1, fallback, warnings);
   const ir::RouteMap* map2 = ResolveMap(config2, name2, fallback, warnings);
   obs::ScopedSpan span("route_map_pair",
                        map1->name + " vs " + map2->name);
 
-  // One manager per pair keeps arenas small and lifetimes obvious.
+  // One manager per pair keeps arenas small and lifetimes obvious. With a
+  // template, the manager starts as a snapshot of the shared arena (same
+  // variable order, common list BDDs pre-built) instead of empty; either
+  // way, the pair owns its manager outright from here on.
   bdd::BddManager mgr;
-  std::vector<util::Community> communities = config1.AllCommunities();
-  auto more = config2.AllCommunities();
-  communities.insert(communities.end(), more.begin(), more.end());
-  encode::RouteAdvLayout layout(mgr, std::move(communities));
+  std::optional<encode::RouteAdvLayout> layout;
+  if (tmpl != nullptr) {
+    mgr.SeedFrom(tmpl->route_manager());
+    layout.emplace(mgr, tmpl->route_layout());
+  } else {
+    std::vector<util::Community> communities = config1.AllCommunities();
+    auto more = config2.AllCommunities();
+    communities.insert(communities.end(), more.begin(), more.end());
+    layout.emplace(mgr, std::move(communities));
+  }
 
   std::vector<RouteMapDifference> diffs =
-      SemanticDiffRouteMaps(layout, config1, *map1, config2, *map2);
+      SemanticDiffRouteMaps(*layout, config1, *map1, config2, *map2, tmpl);
   std::vector<PresentedDifference> presented;
   presented.reserve(diffs.size());
   for (const auto& diff : diffs) {
     presented.push_back(PresentRouteMapDifference(
-        layout, diff, config1, config2, map1->name, map2->name));
+        *layout, diff, config1, config2, map1->name, map2->name));
   }
   span.AddAttr("differences", static_cast<double>(presented.size()));
   obs::Count("diff.route_map_pairs");
+  RecordPairBddObservability(span, mgr);
+  return presented;
+}
+
+std::vector<PresentedDifference> DiffAclPairImpl(
+    const ir::RouterConfig& config1, const ir::RouterConfig& config2,
+    const std::string& name, const encode::EncodingTemplate* tmpl = nullptr) {
+  const ir::Acl* acl1 = config1.FindAcl(name);
+  const ir::Acl* acl2 = config2.FindAcl(name);
+  if (acl1 == nullptr || acl2 == nullptr) return {};
+  obs::ScopedSpan span("acl_pair", name);
+
+  bdd::BddManager mgr;
+  std::optional<encode::PacketLayout> layout;
+  if (tmpl != nullptr) {
+    mgr.SeedFrom(tmpl->packet_manager());
+    layout.emplace(mgr, tmpl->packet_layout());
+  } else {
+    layout.emplace(mgr);
+  }
+  std::vector<AclDifference> diffs =
+      SemanticDiffAcls(*layout, *acl1, *acl2, {}, tmpl);
+  std::vector<PresentedDifference> presented;
+  presented.reserve(diffs.size());
+  for (const auto& diff : diffs) {
+    presented.push_back(
+        PresentAclDifference(*layout, diff, *acl1, *acl2, config1, config2));
+  }
+  span.AddAttr("differences", static_cast<double>(presented.size()));
+  obs::Count("diff.acl_pairs");
   RecordPairBddObservability(span, mgr);
   return presented;
 }
@@ -144,24 +186,7 @@ std::vector<PresentedDifference> DiffRouteMapPair(
 std::vector<PresentedDifference> DiffAclPair(const ir::RouterConfig& config1,
                                              const ir::RouterConfig& config2,
                                              const std::string& name) {
-  const ir::Acl* acl1 = config1.FindAcl(name);
-  const ir::Acl* acl2 = config2.FindAcl(name);
-  if (acl1 == nullptr || acl2 == nullptr) return {};
-  obs::ScopedSpan span("acl_pair", name);
-
-  bdd::BddManager mgr;
-  encode::PacketLayout layout(mgr);
-  std::vector<AclDifference> diffs = SemanticDiffAcls(layout, *acl1, *acl2);
-  std::vector<PresentedDifference> presented;
-  presented.reserve(diffs.size());
-  for (const auto& diff : diffs) {
-    presented.push_back(
-        PresentAclDifference(layout, diff, *acl1, *acl2, config1, config2));
-  }
-  span.AddAttr("differences", static_cast<double>(presented.size()));
-  obs::Count("diff.acl_pairs");
-  RecordPairBddObservability(span, mgr);
-  return presented;
+  return DiffAclPairImpl(config1, config2, name);
 }
 
 DiffReport ConfigDiff(const ir::RouterConfig& config1,
@@ -205,6 +230,47 @@ DiffReport ConfigDiff(const ir::RouterConfig& config1,
     }
   };
 
+  // Shared read-only encoding template: encode each structurally distinct
+  // prefix list, community list, and ACL match clause once, before the
+  // fan-out, so pair tasks seed their managers from the frozen arena
+  // instead of re-encoding the common library. Built on the main thread
+  // (its span lands at a fixed position in the trace tree at any thread
+  // count) and only read — never mutated — by the tasks.
+  bool want_route_maps =
+      options.check_route_maps &&
+      (!pairing.route_maps.empty() || !pairing.redistributions.empty());
+  bool want_acls = options.check_acls && !pairing.acls.empty();
+  std::optional<encode::EncodingTemplate> template_storage;
+  const encode::EncodingTemplate* tmpl = nullptr;
+  if (options.use_encoding_template && (want_route_maps || want_acls)) {
+    obs::ScopedSpan span("encode_template",
+                         config1.hostname + " vs " + config2.hostname);
+    template_storage.emplace(config1, config2, want_route_maps, want_acls);
+    tmpl = &*template_storage;
+    if (obs::Enabled()) {
+      span.AddAttr("unique_prefix_lists",
+                   static_cast<double>(tmpl->unique_prefix_lists()));
+      span.AddAttr("unique_community_lists",
+                   static_cast<double>(tmpl->unique_community_lists()));
+      span.AddAttr("unique_acl_lines",
+                   static_cast<double>(tmpl->unique_acl_lines()));
+      double template_nodes = 0.0;
+      if (tmpl->has_route_side()) {
+        template_nodes +=
+            static_cast<double>(tmpl->route_manager().ArenaSize());
+        obs::RecordBddStats(tmpl->route_manager().Stats());
+        obs::RecordBddMemory(tmpl->route_manager().MemoryStats());
+      }
+      if (tmpl->has_packet_side()) {
+        template_nodes +=
+            static_cast<double>(tmpl->packet_manager().ArenaSize());
+        obs::RecordBddStats(tmpl->packet_manager().Stats());
+        obs::RecordBddMemory(tmpl->packet_manager().MemoryStats());
+      }
+      span.AddAttr("bdd_nodes", template_nodes);
+    }
+  }
+
   // The semantic checks are the expensive part (each pair builds and
   // compares BDDs), and every pair is independent: each task constructs its
   // own BddManager and layout, so tasks share no mutable state. Fan the
@@ -225,9 +291,10 @@ DiffReport ConfigDiff(const ir::RouterConfig& config1,
       if (!seen_pairs.insert({pair.name1, pair.name2}).second) continue;
       tasks.push_back(
           {DifferenceEntry::Kind::kRouteMapSemantic,
-           [&config1, &config2, pair](std::vector<std::string>* task_warnings) {
+           [&config1, &config2, pair,
+            tmpl](std::vector<std::string>* task_warnings) {
              auto diffs = DiffRouteMapPairImpl(config1, pair.name1, config2,
-                                               pair.name2, task_warnings);
+                                               pair.name2, task_warnings, tmpl);
              for (auto& d : diffs) {
                d.title += " (neighbor " + pair.neighbor.ToString() + ", " +
                           ToString(pair.direction) + ")";
@@ -238,9 +305,10 @@ DiffReport ConfigDiff(const ir::RouterConfig& config1,
     for (const auto& pair : pairing.redistributions) {
       tasks.push_back(
           {DifferenceEntry::Kind::kRouteMapSemantic,
-           [&config1, &config2, pair](std::vector<std::string>* task_warnings) {
+           [&config1, &config2, pair,
+            tmpl](std::vector<std::string>* task_warnings) {
              auto diffs = DiffRouteMapPairImpl(config1, pair.name1, config2,
-                                               pair.name2, task_warnings);
+                                               pair.name2, task_warnings, tmpl);
              for (auto& d : diffs) {
                d.title += " (redistribution of " + ir::ToString(pair.from) +
                           " into " + ir::ToString(pair.via) + ")";
@@ -253,8 +321,8 @@ DiffReport ConfigDiff(const ir::RouterConfig& config1,
     for (const auto& pair : pairing.acls) {
       tasks.push_back(
           {DifferenceEntry::Kind::kAclSemantic,
-           [&config1, &config2, pair](std::vector<std::string>*) {
-             return DiffAclPair(config1, config2, pair.name);
+           [&config1, &config2, pair, tmpl](std::vector<std::string>*) {
+             return DiffAclPairImpl(config1, config2, pair.name, tmpl);
            }});
     }
   }

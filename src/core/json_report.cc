@@ -82,6 +82,10 @@ std::string ReportToJson(const DiffReport& report, const std::string& router1,
     if (d.example) {
       out += "      \"example\": " + Quoted(*d.example) + ",\n";
     }
+    if (!d.location1.empty() || !d.location2.empty()) {
+      out += "      \"location1\": " + Quoted(d.location1) + ",\n";
+      out += "      \"location2\": " + Quoted(d.location2) + ",\n";
+    }
     out += "      \"action1\": " + Quoted(d.action1) + ",\n";
     out += "      \"action2\": " + Quoted(d.action2) + ",\n";
     out += "      \"text1\": " + Quoted(d.text1) + ",\n";

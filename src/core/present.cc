@@ -245,6 +245,8 @@ PresentedDifference PresentStructuralDifference(
   out.action2 = diff.value2;
   out.text1 = diff.span1.text.empty() ? "(none)" : diff.span1.text;
   out.text2 = diff.span2.text.empty() ? "(none)" : diff.span2.text;
+  if (diff.span1.HasLocation()) out.location1 = diff.span1.LocationString();
+  if (diff.span2.HasLocation()) out.location2 = diff.span2.LocationString();
 
   util::TextTable table({"", config1.hostname, config2.hostname});
   table.AddRow({"Component", diff.component, diff.component});

@@ -38,6 +38,10 @@ struct PresentedDifference {
   std::optional<std::string> example;  // Concrete example for other fields.
   std::string action1, action2;
   std::string text1, text2;
+  // Source locations ("router.cfg:7-8") of the responsible text, when the
+  // IR carries spans with line numbers (parsed configs do; generated IR
+  // leaves these empty). Surfaced in the JSON report.
+  std::string location1, location2;
 };
 
 PresentedDifference PresentRouteMapDifference(

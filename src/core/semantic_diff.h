@@ -15,6 +15,7 @@
 
 #include "bdd/bdd.h"
 #include "core/route_action.h"
+#include "encode/encoding_template.h"
 #include "encode/packet.h"
 #include "encode/policy_encoder.h"
 #include "encode/route_adv.h"
@@ -55,11 +56,14 @@ struct RouteMapDifference {
 
 // All behavioral differences between two route maps, which may come from
 // different routers (`config1`/`config2` resolve the named lists each map
-// references). Both maps must be encoded against the same layout.
+// references). Both maps must be encoded against the same layout. `tmpl`,
+// when given, must have seeded the layout's manager; structurally known
+// lists then resolve by template lookup instead of re-encoding.
 std::vector<RouteMapDifference> SemanticDiffRouteMaps(
     encode::RouteAdvLayout& layout, const ir::RouterConfig& config1,
     const ir::RouteMap& map1, const ir::RouterConfig& config2,
-    const ir::RouteMap& map2);
+    const ir::RouteMap& map2,
+    const encode::EncodingTemplate* tmpl = nullptr);
 
 // ---------------------------------------------------------------------------
 // ACLs
@@ -72,8 +76,9 @@ struct AclPathClass {
   bool is_default = false;
 };
 
-std::vector<AclPathClass> BuildAclClasses(encode::PacketLayout& layout,
-                                          const ir::Acl& acl);
+std::vector<AclPathClass> BuildAclClasses(
+    encode::PacketLayout& layout, const ir::Acl& acl,
+    const encode::EncodingTemplate* tmpl = nullptr);
 
 struct AclDifference {
   bdd::BddRef input_set = bdd::kFalse;
@@ -90,9 +95,9 @@ struct AclDiffOptions {
   bool prune_with_disagreement_set = true;
 };
 
-std::vector<AclDifference> SemanticDiffAcls(encode::PacketLayout& layout,
-                                            const ir::Acl& acl1,
-                                            const ir::Acl& acl2,
-                                            const AclDiffOptions& options = {});
+std::vector<AclDifference> SemanticDiffAcls(
+    encode::PacketLayout& layout, const ir::Acl& acl1, const ir::Acl& acl2,
+    const AclDiffOptions& options = {},
+    const encode::EncodingTemplate* tmpl = nullptr);
 
 }  // namespace campion::core

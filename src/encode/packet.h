@@ -39,6 +39,12 @@ class PacketLayout {
  public:
   explicit PacketLayout(bdd::BddManager& mgr);
 
+  // Rebinds a prototype layout onto `mgr`, which must have been seeded from
+  // the prototype's manager (BddManager::SeedFrom): field offsets are
+  // copied and no variables are allocated — the seeded manager already
+  // carries the prototype's.
+  PacketLayout(bdd::BddManager& mgr, const PacketLayout& proto);
+
   bdd::BddManager& manager() const { return mgr_; }
 
   bdd::BddRef MatchSrc(const util::IpWildcard& w) const;

@@ -52,6 +52,13 @@ class RouteAdvLayout {
   RouteAdvLayout(bdd::BddManager& mgr,
                  std::vector<util::Community> communities);
 
+  // Rebinds a prototype layout onto `mgr`, which must have been seeded from
+  // the prototype's manager (BddManager::SeedFrom): variable offsets and
+  // cached refs (valid_, uninterpreted predicates) are copied verbatim and
+  // stay meaningful because seeding preserves arena indices. No variables
+  // are allocated — the seeded manager already carries the prototype's.
+  RouteAdvLayout(bdd::BddManager& mgr, const RouteAdvLayout& proto);
+
   bdd::BddManager& manager() const { return mgr_; }
 
   // Length field is valid (<= 32). Conjoin once at the root of any

@@ -25,6 +25,39 @@ std::string RouteFilterLine(const util::PrefixRange& range,
   return out + ";\n";
 }
 
+// A discontiguous wildcard (don't-care bits that are not a contiguous low
+// suffix) has no single JunOS prefix equivalent, but it is exactly the
+// union of 2^k prefixes over its k non-suffix free bits, and repeated
+// source-address / destination-address entries within a term OR together
+// (the parser turns them back into one IR line per prefix with the same
+// action). Returns the expansion, or empty when it would exceed `cap`
+// prefixes.
+std::vector<util::Prefix> ExpandWildcard(const util::IpWildcard& w,
+                                         std::size_t cap) {
+  std::uint32_t mask = w.wildcard_bits();
+  int suffix = 0;
+  while (suffix < 32 && ((mask >> suffix) & 1u) != 0) ++suffix;
+  std::vector<int> free_bits;
+  for (int bit = suffix; bit < 32; ++bit) {
+    if (((mask >> bit) & 1u) != 0) free_bits.push_back(bit);
+  }
+  if (free_bits.size() >= 20 ||
+      (std::size_t{1} << free_bits.size()) > cap) {
+    return {};
+  }
+  std::vector<util::Prefix> out;
+  out.reserve(std::size_t{1} << free_bits.size());
+  for (std::size_t combo = 0; combo < (std::size_t{1} << free_bits.size());
+       ++combo) {
+    std::uint32_t bits = w.address().bits();
+    for (std::size_t i = 0; i < free_bits.size(); ++i) {
+      if (((combo >> i) & 1u) != 0) bits |= 1u << free_bits[i];
+    }
+    out.emplace_back(util::Ipv4Address(bits), 32 - suffix);
+  }
+  return out;
+}
+
 bool IsExactPermitList(const ir::PrefixList& list) {
   for (const auto& entry : list.entries) {
     if (entry.action != ir::LineAction::kPermit) return false;
@@ -209,13 +242,32 @@ std::string UnparseFilter(const ir::Acl& acl) {
   for (const auto& line : acl.lines) {
     out += "            term t" + std::to_string(index++) + " {\n";
     out += "                from {\n";
-    if (auto src = line.src.AsPrefix(); src && !line.src.IsAny()) {
-      out += "                    source-address " + src->ToString() + ";\n";
-    }
-    if (auto dst = line.dst.AsPrefix(); dst && !line.dst.IsAny()) {
-      out += "                    destination-address " + dst->ToString() +
-             ";\n";
-    }
+    // Dropping an unrepresentable address match would silently widen the
+    // term to match-any; expand discontiguous wildcards into an OR of
+    // prefixes instead, and leave a visible marker (like the deny-entry
+    // case above) when the expansion is too large.
+    auto address_match = [&out](const char* keyword,
+                                const util::IpWildcard& w) {
+      if (w.IsAny()) return;
+      if (auto prefix = w.AsPrefix()) {
+        out += std::string("                    ") + keyword + " " +
+               prefix->ToString() + ";\n";
+        return;
+      }
+      std::vector<util::Prefix> prefixes = ExpandWildcard(w, 256);
+      if (prefixes.empty()) {
+        out += std::string("                    /* unrepresentable "
+                           "wildcard ") +
+               keyword + " " + w.ToString() + " */\n";
+        return;
+      }
+      for (const auto& prefix : prefixes) {
+        out += std::string("                    ") + keyword + " " +
+               prefix.ToString() + ";\n";
+      }
+    };
+    address_match("source-address", line.src);
+    address_match("destination-address", line.dst);
     if (line.protocol) {
       out += "                    protocol " +
              ir::ProtocolNumberToString(*line.protocol) + ";\n";

@@ -23,11 +23,13 @@
 // tripped, 1 on usage errors or unreadable/invalid input.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -271,15 +273,23 @@ std::string FormatMs(std::uint64_t ns) {
 }
 
 std::string FormatPct(double base, double current) {
-  if (base == 0.0) return current == 0.0 ? "+0.0%" : "n/a";
+  if (base == 0.0) return current == 0.0 ? "+0.0%" : "+inf%";
   char buffer[32];
   snprintf(buffer, sizeof(buffer), "%+.1f%%",
            100.0 * (current - base) / base);
   return buffer;
 }
 
+// Growth over the baseline in percent. A value appearing from a zero (or
+// absent) baseline is infinite growth — it must trip any finite gate, not
+// silently read as 0%: a zero-wall baseline usually means the baseline
+// trace is truncated or doctored, the one case a regression gate exists
+// to catch.
 double GrowthPct(double base, double current) {
-  return base == 0.0 ? 0.0 : 100.0 * (current - base) / base;
+  if (base <= 0.0) {
+    return current > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return 100.0 * (current - base) / base;
 }
 
 bool IsMemoryMetric(const std::string& name) {
@@ -397,27 +407,43 @@ int main(int argc, char** argv) {
         " baseline-only, " + std::to_string(alignment.current_only) +
         " current-only");
   }
-  if (options.fail_if_slower_pct.has_value() && base_wall > 0) {
+  if (options.fail_if_slower_pct.has_value()) {
     double growth = GrowthPct(static_cast<double>(base_wall),
                               static_cast<double>(cur_wall));
     if (growth > *options.fail_if_slower_pct) {
-      char buffer[128];
-      snprintf(buffer, sizeof(buffer),
-               "total wall time grew %.1f%% (limit %.1f%%)", growth,
-               *options.fail_if_slower_pct);
+      char buffer[192];
+      if (std::isinf(growth)) {
+        snprintf(buffer, sizeof(buffer),
+                 "total wall time grew from a zero-wall baseline to %s ms "
+                 "(limit %.1f%%); the baseline trace looks truncated or "
+                 "doctored",
+                 FormatMs(cur_wall).c_str(), *options.fail_if_slower_pct);
+      } else {
+        snprintf(buffer, sizeof(buffer),
+                 "total wall time grew %.1f%% (limit %.1f%%)", growth,
+                 *options.fail_if_slower_pct);
+      }
       tripped.push_back(buffer);
     }
   }
   if (options.fail_if_mem_growth_pct.has_value()) {
     for (const auto& [name, base_value] : baseline->metrics) {
-      if (!IsMemoryMetric(name) || base_value <= 0.0) continue;
+      if (!IsMemoryMetric(name)) continue;
       auto cur_it = current->metrics.find(name);
       if (cur_it == current->metrics.end()) continue;
       double growth = GrowthPct(base_value, cur_it->second);
       if (growth > *options.fail_if_mem_growth_pct) {
-        char buffer[160];
-        snprintf(buffer, sizeof(buffer), "%s grew %.1f%% (limit %.1f%%)",
-                 name.c_str(), growth, *options.fail_if_mem_growth_pct);
+        char buffer[192];
+        if (std::isinf(growth)) {
+          snprintf(buffer, sizeof(buffer),
+                   "%s grew from a zero baseline to %s (limit %.1f%%)",
+                   name.c_str(),
+                   campion::util::JsonNumber(cur_it->second).c_str(),
+                   *options.fail_if_mem_growth_pct);
+        } else {
+          snprintf(buffer, sizeof(buffer), "%s grew %.1f%% (limit %.1f%%)",
+                   name.c_str(), growth, *options.fail_if_mem_growth_pct);
+        }
         tripped.push_back(buffer);
       }
     }

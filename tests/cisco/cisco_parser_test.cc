@@ -153,6 +153,51 @@ TEST(CiscoParserTest, RouteMapSpanCoversClauseLines) {
             std::string::npos);
 }
 
+// Continuation lines (indented mode) must extend the owning span to the
+// exact 1-based last line, with comment separators in between not
+// shifting the count.
+TEST(CiscoParserTest, ContinuationLineNumbersAreExact) {
+  auto config = Parse(
+      "!\n"                                        // 1
+      "hostname r1\n"                              // 2
+      "!\n"                                        // 3
+      "interface GigabitEthernet0/0\n"             // 4
+      " ip address 10.0.0.1 255.255.255.0\n"       // 5
+      " shutdown\n"                                // 6
+      "!\n"                                        // 7
+      "route-map POL permit 10\n"                  // 8
+      " match ip address prefix-list NETS\n"       // 9
+      " set metric 5\n"                            // 10
+      "!\n"                                        // 11
+      "router bgp 65000\n"                         // 12
+      " neighbor 10.0.0.2 remote-as 65001\n"       // 13
+      " neighbor 10.0.0.2 route-map POL out\n");   // 14
+  ASSERT_EQ(config.interfaces.size(), 1u);
+  EXPECT_EQ(config.interfaces[0].span.first_line, 4);
+  EXPECT_EQ(config.interfaces[0].span.last_line, 6);
+  EXPECT_EQ(config.interfaces[0].span.LocationString(), "test.cfg:4-6");
+  const ir::RouteMap* map = config.FindRouteMap("POL");
+  ASSERT_NE(map, nullptr);
+  const ir::RouteMapClause& clause = map->clauses[0];
+  EXPECT_EQ(clause.span.first_line, 8);
+  EXPECT_EQ(clause.span.last_line, 10);
+  // Match and set sub-spans point at their own single lines.
+  ASSERT_EQ(clause.matches.size(), 1u);
+  EXPECT_EQ(clause.matches[0].span.first_line, 9);
+  EXPECT_EQ(clause.matches[0].span.last_line, 9);
+  ASSERT_EQ(clause.sets.size(), 1u);
+  EXPECT_EQ(clause.sets[0].span.first_line, 10);
+  EXPECT_EQ(clause.sets[0].span.LocationString(), "test.cfg:10");
+  // Neighbor attribute lines extend both the line range and the text.
+  ASSERT_TRUE(config.bgp.has_value());
+  ASSERT_EQ(config.bgp->neighbors.size(), 1u);
+  const util::SourceSpan& nspan = config.bgp->neighbors[0].span;
+  EXPECT_EQ(nspan.first_line, 13);
+  EXPECT_EQ(nspan.last_line, 14);
+  EXPECT_NE(nspan.text.find("remote-as 65001"), std::string::npos);
+  EXPECT_NE(nspan.text.find("route-map POL out"), std::string::npos);
+}
+
 TEST(CiscoParserTest, RouteMapSetNextHopAndTagAndMetric) {
   auto config = Parse(
       "route-map RM permit 10\n"
@@ -197,6 +242,29 @@ TEST(CiscoParserTest, NamedExtendedAcl) {
 
   EXPECT_EQ(acl->lines[2].protocol, ir::kProtoIcmp);
   EXPECT_EQ(acl->lines[2].icmp_type, 8);
+}
+
+// A wildcard whose free bits are not a contiguous low suffix ("0.0.255.0"
+// frees the third octet only) must survive parsing bit-for-bit; coercing
+// it to a prefix length would silently widen or narrow the match.
+TEST(CiscoParserTest, DiscontiguousWildcardPreservedBitForBit) {
+  auto config = Parse(
+      "ip access-list extended DW\n"
+      " permit ip 10.1.77.5 0.0.255.0 any\n");
+  const ir::Acl* acl = config.FindAcl("DW");
+  ASSERT_NE(acl, nullptr);
+  ASSERT_EQ(acl->lines.size(), 1u);
+  const util::IpWildcard& src = acl->lines[0].src;
+  EXPECT_EQ(src.wildcard_bits(), 0x0000FF00u);
+  // The constructor zeroes don't-care address bits (third octet, 77).
+  EXPECT_EQ(src.address(), Ipv4Address(10, 1, 0, 5));
+  // Not expressible as a prefix: the free bits are not a suffix.
+  EXPECT_FALSE(src.AsPrefix().has_value());
+  // Free third octet matches anything; the care octets are exact.
+  EXPECT_TRUE(src.Matches(Ipv4Address(10, 1, 0, 5)));
+  EXPECT_TRUE(src.Matches(Ipv4Address(10, 1, 200, 5)));
+  EXPECT_FALSE(src.Matches(Ipv4Address(10, 1, 0, 6)));
+  EXPECT_FALSE(src.Matches(Ipv4Address(10, 2, 0, 5)));
 }
 
 TEST(CiscoParserTest, NumberedAcl) {

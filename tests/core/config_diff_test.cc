@@ -17,6 +17,25 @@ class ConfigDiffTest : public ::testing::Test {
   ir::RouterConfig juniper_;
 };
 
+// Regression: the BDD encoding of a discontiguous wildcard is per-bit, so
+// "0.0.255.0" (free third octet) must NOT collapse to the "0.0.255.255"
+// prefix approximation — they differ on every packet whose fourth octet
+// moves. And two identical discontiguous lines must stay equivalent.
+TEST(AclWildcardSemanticsTest, DiscontiguousWildcardNotTreatedAsPrefix) {
+  ir::RouterConfig exact = testing::ParseCiscoOrDie(
+      "hostname r1\n"
+      "ip access-list extended DW\n"
+      " permit ip 10.1.0.5 0.0.255.0 any\n"
+      " deny ip any any\n");
+  ir::RouterConfig widened = testing::ParseCiscoOrDie(
+      "hostname r2\n"
+      "ip access-list extended DW\n"
+      " permit ip 10.1.0.0 0.0.255.255 any\n"
+      " deny ip any any\n");
+  EXPECT_FALSE(DiffAclPair(exact, widened, "DW").empty());
+  EXPECT_TRUE(DiffAclPair(exact, exact, "DW").empty());
+}
+
 TEST_F(ConfigDiffTest, OptionsDisableChecks) {
   DiffOptions only_structural;
   only_structural.check_route_maps = false;

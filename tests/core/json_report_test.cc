@@ -59,6 +59,28 @@ TEST(ReportToJsonTest, Fig1ReportRoundTripsKeyFields) {
   EXPECT_TRUE(check_balanced_quotes());
 }
 
+// Text localization must point at the exact 1-based source lines: the
+// structural entries carry "file:line" locations from the parsed spans.
+TEST(ReportToJsonTest, StructuralLocationsCarryExactLineNumbers) {
+  auto r1 = cisco::ParseCiscoConfig(
+                "hostname r1\n"
+                "ip route 10.5.0.0 255.255.0.0 10.0.0.1\n",
+                "r1.cfg")
+                .config;
+  auto r2 = cisco::ParseCiscoConfig(
+                "hostname r2\n"
+                "!\n"
+                "ip route 10.5.0.0 255.255.0.0 10.0.0.1 200\n",
+                "r2.cfg")
+                .config;
+  DiffReport report = ConfigDiff(r1, r2);
+  std::string json = ReportToJson(report, "r1", "r2");
+  EXPECT_NE(json.find("\"location1\": \"r1.cfg:2\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"location2\": \"r2.cfg:3\""), std::string::npos)
+      << json;
+}
+
 TEST(ReportToJsonTest, WarningEntriesSerialized) {
   DiffReport report;
   DifferenceEntry warning;

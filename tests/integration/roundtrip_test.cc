@@ -48,6 +48,27 @@ TEST(JuniperRoundTripTest, Fig1Config) {
   ExpectEquivalent(original, result.config, "fig1-juniper");
 }
 
+// Cross-vendor round trip of a discontiguous wildcard: the JunOS unparser
+// expands it into an OR of source-address prefixes, and re-parsing that
+// must be behaviorally identical to the original Cisco ACL (previously the
+// match was silently dropped, widening the term to match-any).
+TEST(JuniperRoundTripTest, DiscontiguousWildcardAclSurvives) {
+  auto original = testing::ParseCiscoOrDie(
+      "hostname dw\n"
+      "ip access-list extended DW\n"
+      " permit ip 10.1.0.5 0.0.255.0 any\n"
+      " deny ip 10.2.0.0 0.0.2.255 any\n"
+      " permit ip any any\n");
+  std::string text = juniper::UnparseJuniperConfig(original);
+  auto result = juniper::ParseJuniperConfig(text, "dw.conf");
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.front() << "\n"
+      << text;
+  EXPECT_TRUE(
+      core::DiffAclPair(original, result.config, "DW").empty())
+      << text;
+}
+
 TEST(CiscoRoundTripTest, UniversityCoreConfig) {
   auto scenario = gen::BuildUniversityScenario();
   std::string text = cisco::UnparseCiscoConfig(scenario.core.config1);

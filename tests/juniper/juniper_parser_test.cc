@@ -484,6 +484,43 @@ TEST(JuniperParserTest, SpanCoversTermText) {
 }
 
 
+// Line numbers must stay exact (1-based) across multi-line /* */ comments,
+// '#' comments, and nested multi-line {} blocks — these all advance the
+// tokenizer without producing statements, the classic off-by-one source.
+TEST(JuniperParserTest, LineNumbersSurviveCommentsAndNestedBlocks) {
+  auto result = ParseJuniperConfig(
+      "/* header\n"                              // 1
+      "   comment */\n"                          // 2
+      "firewall {\n"                             // 3
+      "    family inet {\n"                      // 4
+      "        filter F {\n"                     // 5
+      "            # interleaved noise\n"        // 6
+      "            term t0 {\n"                  // 7
+      "                from {\n"                 // 8
+      "                    protocol tcp;\n"      // 9
+      "                }\n"                      // 10
+      "                then accept;\n"           // 11
+      "            }\n"                          // 12
+      "        }\n"                              // 13
+      "    }\n"                                  // 14
+      "}\n",                                     // 15
+      "f.conf");
+  EXPECT_TRUE(result.diagnostics.empty());
+  const ir::Acl* acl = result.config.FindAcl("F");
+  ASSERT_NE(acl, nullptr);
+  EXPECT_EQ(acl->span.first_line, 5);
+  EXPECT_EQ(acl->span.last_line, 13);
+  EXPECT_EQ(acl->span.LocationString(), "f.conf:5-13");
+  ASSERT_EQ(acl->lines.size(), 1u);
+  EXPECT_EQ(acl->lines[0].span.first_line, 7);
+  EXPECT_EQ(acl->lines[0].span.last_line, 12);
+  // The span text is exactly the covered lines.
+  EXPECT_NE(acl->lines[0].span.text.find("term t0 {"), std::string::npos);
+  EXPECT_NE(acl->lines[0].span.text.find("then accept;"),
+            std::string::npos);
+  EXPECT_EQ(acl->lines[0].span.text.find("filter F"), std::string::npos);
+}
+
 TEST(JuniperParserTest, PrefixListFilterModes) {
   auto config = Parse(R"(
 policy-options {

@@ -110,6 +110,49 @@ TEST(UnparseFilterTest, TermsCarryConditionsAndActions) {
   EXPECT_NE(text.find("then discard;"), std::string::npos);
 }
 
+// A discontiguous wildcard has no single JunOS prefix; dropping the match
+// would widen the term to match-any. Small expansions become an OR of
+// prefixes (entries in a term OR together), huge ones leave a visible
+// marker instead of silently changing behavior.
+TEST(UnparseFilterTest, DiscontiguousWildcardExpandsToPrefixUnion) {
+  ir::Acl acl;
+  acl.name = "DW";
+  ir::AclLine line;
+  line.action = ir::LineAction::kPermit;
+  // Free bit 9 only (third octet, value 2): two /32 hosts.
+  line.src = util::IpWildcard(util::Ipv4Address(10, 1, 0, 5), 0x00000200u);
+  // Free low octet plus free bit 9: two /24 prefixes.
+  line.dst = util::IpWildcard(util::Ipv4Address(10, 9, 0, 0), 0x000002FFu);
+  acl.lines.push_back(line);
+  std::string text = UnparseFilter(acl);
+  EXPECT_NE(text.find("source-address 10.1.0.5/32;"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("source-address 10.1.2.5/32;"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("destination-address 10.9.0.0/24;"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("destination-address 10.9.2.0/24;"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("unrepresentable"), std::string::npos) << text;
+}
+
+TEST(UnparseFilterTest, HugeDiscontiguousWildcardLeavesMarker) {
+  ir::Acl acl;
+  acl.name = "DW";
+  ir::AclLine line;
+  line.action = ir::LineAction::kDeny;
+  // 0x0F0F0F0F frees 12 non-suffix bits: 4096 prefixes, past the cap.
+  line.src = util::IpWildcard(util::Ipv4Address(10, 0, 0, 0), 0x0F0F0F0Fu);
+  acl.lines.push_back(line);
+  std::string text = UnparseFilter(acl);
+  EXPECT_NE(text.find("/* unrepresentable wildcard source-address"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("source-address 10."), std::string::npos) << text;
+}
+
 TEST(UnparseConfigTest, GroupsNeighborsByTypeAndAs) {
   ir::RouterConfig config;
   config.hostname = "j";

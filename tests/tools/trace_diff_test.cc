@@ -147,6 +147,59 @@ TEST_F(TraceDiffTest, DoctoredSlowTraceTripsSlowerGate) {
   EXPECT_EQ(generous.exit_code, 0) << generous.output;
 }
 
+// A truncated or doctored baseline with zero wall time must not sail
+// through the slower gate: growth from zero is infinite, so any finite
+// threshold trips, with a message naming the broken baseline.
+TEST_F(TraceDiffTest, ZeroWallBaselineTripsSlowerGateInsteadOfPassing) {
+  Write("zero_wall.json",
+        "{\"campion_trace_version\": 1, \"spans\": ["
+        "{\"name\": \"config_diff\", \"detail\": \"r1 vs r2\","
+        " \"start_ns\": 0, \"duration_ns\": 0, \"children\": []}],"
+        " \"metrics\": {}}");
+  Write("nonzero.json", SyntheticTrace(1'000'000, 1 << 20));
+  // Report-only mode shows the infinite delta but still exits 0.
+  RunResult report =
+      RunTraceDiff(Path("zero_wall.json") + " " + Path("nonzero.json"));
+  EXPECT_EQ(report.exit_code, 0) << report.output;
+  EXPECT_NE(report.output.find("+inf%"), std::string::npos) << report.output;
+  // Even a huge threshold trips: infinite growth exceeds every limit.
+  RunResult gated = RunTraceDiff("--fail_if_slower_pct=10000 " +
+                                 Path("zero_wall.json") + " " +
+                                 Path("nonzero.json"));
+  EXPECT_EQ(gated.exit_code, 2) << gated.output;
+  EXPECT_NE(gated.output.find("regression: total wall time grew"),
+            std::string::npos)
+      << gated.output;
+  EXPECT_NE(gated.output.find("zero-wall baseline"), std::string::npos)
+      << gated.output;
+  // Zero against zero is 0% growth, not a regression.
+  RunResult same = RunTraceDiff("--fail_if_slower_pct=50 " +
+                                Path("zero_wall.json") + " " +
+                                Path("zero_wall.json"));
+  EXPECT_EQ(same.exit_code, 0) << same.output;
+}
+
+// Same guard for the memory gate: a memory metric appearing from a zero
+// baseline is infinite growth, not 0%.
+TEST_F(TraceDiffTest, MemoryMetricFromZeroBaselineTripsMemoryGate) {
+  Write("mem_zero.json", SyntheticTrace(1'000'000, 0));
+  Write("mem_nonzero.json", SyntheticTrace(1'000'000, 1 << 20));
+  RunResult gated = RunTraceDiff(
+      "--fail_if_mem_growth_pct=10000 " + Path("mem_zero.json") + " " +
+      Path("mem_nonzero.json"));
+  EXPECT_EQ(gated.exit_code, 2) << gated.output;
+  EXPECT_NE(
+      gated.output.find("regression: bdd.mem_peak_bytes grew from a zero "
+                        "baseline"),
+      std::string::npos)
+      << gated.output;
+  // Zero to zero passes.
+  RunResult same = RunTraceDiff("--fail_if_mem_growth_pct=20 " +
+                                Path("mem_zero.json") + " " +
+                                Path("mem_zero.json"));
+  EXPECT_EQ(same.exit_code, 0) << same.output;
+}
+
 TEST_F(TraceDiffTest, MemoryGrowthTripsMemoryGate) {
   Write("mem_base.json", SyntheticTrace(1'000'000, 10 << 20));
   Write("mem_grown.json", SyntheticTrace(1'000'000, 25 << 20));
