@@ -105,16 +105,21 @@ void BM_SatCount(benchmark::State& state) {
 BENCHMARK(BM_SatCount);
 
 // Times `reps` runs of `workload` and records ops/sec under `name`.
+// `unit` says what one "op" is — the workloads differ by orders of
+// magnitude in per-op work (a 512-variable manager build vs a single cached
+// negation), so every rate carries its unit descriptor into the JSON.
 template <typename Fn>
-double TimeWorkload(const std::string& name, int reps, Fn&& workload) {
+double TimeWorkload(const std::string& name, int reps, const std::string& unit,
+                    Fn&& workload) {
   auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < reps; ++i) workload();
   auto stop = std::chrono::steady_clock::now();
   double seconds = std::chrono::duration<double>(stop - start).count();
   double ops_per_sec = seconds > 0 ? reps / seconds : 0.0;
-  campion::benchutil::BenchMetrics::Instance().Record(name + "_ops_per_sec",
-                                                      ops_per_sec);
-  std::cout << "  " << name << ": " << ops_per_sec << " ops/s\n";
+  campion::benchutil::BenchMetrics::Instance().RecordRate(
+      name + "_ops_per_sec", ops_per_sec, "1 op = " + unit);
+  std::cout << "  " << name << ": " << ops_per_sec << " ops/s (1 op = "
+            << unit << ")\n";
   return ops_per_sec;
 }
 
@@ -132,7 +137,8 @@ void PrintSummary() {
   std::cout << "ITE throughput (kernel hot path):\n";
   // Workload 1: fresh-manager conjunction chain — exercises MakeNode and
   // the unique table's growth path.
-  TimeWorkload("var_and_chain_512", 200, [] {
+  TimeWorkload("var_and_chain_512", 200,
+               "one fresh 512-variable manager + 512-term AND chain", [] {
     BddManager m(512);
     BddRef g = m.True();
     for (int i = 0; i < 512; ++i) g = m.And(g, m.VarTrue(i));
@@ -146,12 +152,14 @@ void PrintSummary() {
     parity = parity_mgr.Xor(parity, parity_mgr.VarTrue(i));
   }
   BddRef sink = campion::bdd::kFalse;
-  TimeWorkload("parity_not_128", 200000, [&] {
+  TimeWorkload("parity_not_128", 200000,
+               "one Not() of a 128-variable parity (warm cache)", [&] {
     sink = parity_mgr.Not(parity);
     benchmark::DoNotOptimize(sink);
   });
   // Workload 3: prefix-range encoding — the encoder's dominant primitive.
-  TimeWorkload("prefix_range_encode_64", 500, [] {
+  TimeWorkload("prefix_range_encode_64", 500,
+               "one fresh manager + 64 prefix-range encodings", [] {
     BddManager m;
     campion::encode::RouteAdvLayout layout(m, {});
     for (int octet = 0; octet < 64; ++octet) {
@@ -169,7 +177,8 @@ void PrintSummary() {
   // the shape complement edges exist for: every Not is a bit flip, and each
   // intermediate function shares its node DAG with its complement, so the
   // chain allocates half the nodes a plain-edge kernel needs.
-  TimeWorkload("not_chain_96", 2000, [] {
+  TimeWorkload("not_chain_96", 2000,
+               "one fresh 96-variable manager + 95-step NAND chain", [] {
     BddManager m(96);
     BddRef g = m.VarTrue(0);
     for (int i = 1; i < 96; ++i) g = m.Not(m.And(g, m.VarTrue(i)));
@@ -187,7 +196,8 @@ void PrintSummary() {
   // sets — Campion's semantic-diff pattern (A ∧ ¬B for every route-map
   // clause pair). Standardized triples let Diff(a, b) and Subset(b, a)
   // share computed-cache entries.
-  TimeWorkload("diff_pairs_16", 100, [] {
+  TimeWorkload("diff_pairs_16", 100,
+               "one fresh manager + 16x16 Diff/Subset pair sweep", [] {
     BddManager m;
     campion::encode::RouteAdvLayout layout(m, {});
     std::vector<BddRef> pool;

@@ -42,10 +42,26 @@ class BenchMetrics {
     values_.emplace_back(name, value);
   }
 
+  // Documents what one unit of `name` means (for rates: what one "op" is).
+  // Emitted as a sibling `"<name>_unit"` string next to the metric, so a
+  // trajectory reader never has to guess why two `*_ops_per_sec` values are
+  // orders of magnitude apart.
+  void RecordUnit(const std::string& name, const std::string& unit) {
+    units_.emplace_back(name, unit);
+  }
+
+  // Records a rate and its unit descriptor together.
+  void RecordRate(const std::string& name, double value,
+                  const std::string& unit) {
+    Record(name, value);
+    RecordUnit(name, unit);
+  }
+
   bool empty() const { return values_.empty(); }
 
   // Writes {"name": value, ...}. Integral values print without a decimal
-  // point so counters stay grep-friendly.
+  // point so counters stay grep-friendly. A metric with a registered unit
+  // is followed by its `"<name>_unit"` descriptor string.
   std::string ToJson(const std::string& bench_name) const {
     std::ostringstream out;
     out << "{\n  \"bench\": \"" << bench_name << "\"";
@@ -56,6 +72,12 @@ class BenchMetrics {
       } else {
         out << value;
       }
+      for (const auto& [unit_name, unit] : units_) {
+        if (unit_name == name) {
+          out << ",\n  \"" << name << "_unit\": \"" << unit << "\"";
+          break;
+        }
+      }
     }
     out << "\n}\n";
     return out.str();
@@ -63,6 +85,7 @@ class BenchMetrics {
 
  private:
   std::vector<std::pair<std::string, double>> values_;
+  std::vector<std::pair<std::string, std::string>> units_;
 };
 
 // Runs `fn` with tracing enabled and folds the result into BenchMetrics:

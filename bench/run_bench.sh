@@ -32,6 +32,7 @@ run() {
 
 run bench_bdd
 run bench_full_pipeline
+run bench_reorder
 
 # Trace capture: one serial run of the committed university-core pair.
 # --threads=1 plus the deterministic trace structure make the file
@@ -81,5 +82,27 @@ echo "stdout parity: OK (report byte-identical with the template off and on)"
 "$BUILD_DIR/src/tools/campion_trace_diff" \
     "$AB_DIR/trace_off.json" "$AB_DIR/trace_on.json" || true
 
+# Reorder A/B on the same pair: like the template, dynamic variable
+# reordering must be invisible in the report (byte-identical stdout with
+# --reorder off or sift) and visible in the trace (a bdd_sift span,
+# bdd.sift_* metrics). Report-only trace diff — the bdd_sift span is a
+# deliberate structural difference.
 echo
-echo "Wrote BENCH_bdd.json, BENCH_full_pipeline.json, and $TRACE"
+echo "--- reorder A/B (off vs sift) ---"
+run_reorder() {
+  local mode="$1"
+  "$BUILD_DIR/src/tools/campion" --threads=1 --reorder="$mode" \
+      --trace_out="$AB_DIR/trace_reorder_$mode.json" \
+      examples/configs/university_core_cisco.cfg \
+      examples/configs/university_core_juniper.conf \
+      > "$AB_DIR/report_reorder_$mode.txt" || test $? -eq 2
+}
+run_reorder off
+run_reorder sift
+cmp "$AB_DIR/report_reorder_off.txt" "$AB_DIR/report_reorder_sift.txt"
+echo "stdout parity: OK (report byte-identical with reordering off and on)"
+"$BUILD_DIR/src/tools/campion_trace_diff" \
+    "$AB_DIR/trace_reorder_off.json" "$AB_DIR/trace_reorder_sift.json" || true
+
+echo
+echo "Wrote BENCH_bdd.json, BENCH_full_pipeline.json, BENCH_reorder.json, and $TRACE"

@@ -22,6 +22,16 @@ PacketLayout::PacketLayout(bdd::BddManager& mgr) : mgr_(mgr) {
       first + 2 * kIpWidth + kProtoWidth + 2 * kPortWidth, kIcmpWidth);
   established_var_ =
       first + 2 * kIpWidth + kProtoWidth + 2 * kPortWidth + kIcmpWidth;
+  // Each multi-bit field is an indivisible block for group sifting (the
+  // established bit stands alone).
+  mgr_.DeclareVarBlock(first, kIpWidth);
+  mgr_.DeclareVarBlock(first + kIpWidth, kIpWidth);
+  mgr_.DeclareVarBlock(first + 2 * kIpWidth, kProtoWidth);
+  mgr_.DeclareVarBlock(first + 2 * kIpWidth + kProtoWidth, kPortWidth);
+  mgr_.DeclareVarBlock(first + 2 * kIpWidth + kProtoWidth + kPortWidth,
+                       kPortWidth);
+  mgr_.DeclareVarBlock(first + 2 * kIpWidth + kProtoWidth + 2 * kPortWidth,
+                       kIcmpWidth);
 }
 
 PacketLayout::PacketLayout(bdd::BddManager& mgr, const PacketLayout& proto)

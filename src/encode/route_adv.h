@@ -80,6 +80,11 @@ class RouteAdvLayout {
   // do not model bit-precisely. Same (label) => same variable.
   bdd::BddRef UninterpretedPredicate(const std::string& label);
 
+  // Every BddRef this layout holds onto (valid_, uninterpreted predicate
+  // refs). Passed as roots to BddManager::Sift so reordering can reclaim
+  // dead nodes without invalidating the layout.
+  std::vector<bdd::BddRef> SiftRoots() const;
+
   // Variable masks for quantification.
   // True exactly on the prefix address + length variables.
   std::vector<bool> PrefixVarMask() const;

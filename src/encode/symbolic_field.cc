@@ -71,6 +71,16 @@ bdd::BddRef SymbolicField::InRange(bdd::BddManager& mgr, std::uint32_t low,
 
 std::vector<SymbolicField::Interval> SymbolicField::Intervals(
     bdd::BddManager& mgr, bdd::BddRef set) const {
+  // The walk below assumes the field's bits appear MSB-first, top-down —
+  // true in the declaration order but not after sifting. The view rebuilds
+  // `set` under the declaration order (a no-op when no reorder ran), so
+  // extracted intervals are identical whether or not the manager sifted.
+  const bdd::BddManager::OrderedView view = mgr.DeclarationOrderView(set);
+  return IntervalsInDeclarationOrder(*view.mgr, view.ref);
+}
+
+std::vector<SymbolicField::Interval> SymbolicField::IntervalsInDeclarationOrder(
+    const bdd::BddManager& mgr, bdd::BddRef set) const {
   std::vector<Interval> intervals;
   // Walk the field's bits most-significant first. At depth d with value
   // prefix `base`, `node` is the BDD restricted to the decisions so far.

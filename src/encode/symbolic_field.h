@@ -54,6 +54,12 @@ class SymbolicField {
                                   bdd::BddRef set) const;
 
  private:
+  // The walk itself; requires `mgr`'s variable order to be the declaration
+  // order (Intervals routes reordered managers through their
+  // declaration-order view first).
+  std::vector<Interval> IntervalsInDeclarationOrder(const bdd::BddManager& mgr,
+                                                    bdd::BddRef set) const;
+
   // The bit of `value` aligned with field bit `i` (value left-aligned).
   bool ValueBit(std::uint32_t value, int i) const {
     return (value >> (width_ - 1 - i)) & 1u;

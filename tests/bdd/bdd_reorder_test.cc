@@ -1,0 +1,326 @@
+// Dynamic-reordering coverage: adjacent-level swaps (ref stability, the
+// regular-then-edge invariant, level bookkeeping), randomized truth-table
+// oracles across Sift() in both modes, group sifting keeping declared
+// blocks contiguous, root-based dead-node reclamation, the auto-sift
+// growth trigger, and order-insensitivity of the satisfying-assignment
+// queries through DeclarationOrderView.
+
+#include "bdd/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+namespace campion::bdd {
+namespace {
+
+// Evaluates f on the assignment encoded by `bits` (variable v reads bit
+// kVars-1-v, matching the other oracle tests). Walks by variable id, so it
+// is valid under any level order.
+bool Eval(const BddManager& mgr, BddRef f, std::size_t bits, Var num_vars) {
+  BddRef node = f;
+  while (!mgr.IsTerminal(node)) {
+    Var v = mgr.NodeVar(node);
+    bool bit = (bits >> (num_vars - 1 - v)) & 1u;
+    node = bit ? mgr.NodeHigh(node) : mgr.NodeLow(node);
+  }
+  return node == kTrue;
+}
+
+// Builds a pool of random functions over kVars variables alongside their
+// truth tables.
+struct Pool {
+  std::vector<BddRef> refs;
+  std::vector<std::vector<bool>> tables;
+};
+
+Pool BuildRandomPool(BddManager& mgr, Var num_vars, int steps,
+                     std::uint64_t seed) {
+  const std::size_t rows = std::size_t{1} << num_vars;
+  std::mt19937_64 rng(seed);
+  Pool pool;
+  for (Var v = 0; v < num_vars; ++v) {
+    pool.refs.push_back(mgr.VarTrue(v));
+    std::vector<bool> table(rows);
+    for (std::size_t a = 0; a < rows; ++a) {
+      table[a] = (a >> (num_vars - 1 - v)) & 1u;
+    }
+    pool.tables.push_back(std::move(table));
+  }
+  for (int step = 0; step < steps; ++step) {
+    const std::size_t i = rng() % pool.refs.size();
+    const std::size_t j = rng() % pool.refs.size();
+    BddRef f = kFalse;
+    std::vector<bool> table(rows);
+    switch (rng() % 4) {
+      case 0:
+        f = mgr.And(pool.refs[i], pool.refs[j]);
+        for (std::size_t a = 0; a < rows; ++a)
+          table[a] = pool.tables[i][a] && pool.tables[j][a];
+        break;
+      case 1:
+        f = mgr.Or(pool.refs[i], pool.refs[j]);
+        for (std::size_t a = 0; a < rows; ++a)
+          table[a] = pool.tables[i][a] || pool.tables[j][a];
+        break;
+      case 2:
+        f = mgr.Xor(pool.refs[i], pool.refs[j]);
+        for (std::size_t a = 0; a < rows; ++a)
+          table[a] = pool.tables[i][a] != pool.tables[j][a];
+        break;
+      default:
+        f = mgr.Diff(pool.refs[i], pool.refs[j]);
+        for (std::size_t a = 0; a < rows; ++a)
+          table[a] = pool.tables[i][a] && !pool.tables[j][a];
+        break;
+    }
+    pool.refs.push_back(f);
+    pool.tables.push_back(std::move(table));
+  }
+  return pool;
+}
+
+void ExpectPoolMatchesTables(const BddManager& mgr, const Pool& pool,
+                             Var num_vars) {
+  const std::size_t rows = std::size_t{1} << num_vars;
+  for (std::size_t i = 0; i < pool.refs.size(); ++i) {
+    for (std::size_t a = 0; a < rows; ++a) {
+      ASSERT_EQ(Eval(mgr, pool.refs[i], a, num_vars),
+                static_cast<bool>(pool.tables[i][a]))
+          << "function " << i << " assignment " << a;
+    }
+  }
+}
+
+TEST(SwapAdjacentLevelsTest, PreservesFunctionsRefsAndInvariants) {
+  constexpr Var kVars = 6;
+  BddManager mgr(kVars);
+  Pool pool = BuildRandomPool(mgr, kVars, 30, /*seed=*/42);
+  std::vector<BddRef> before = pool.refs;
+
+  // Bubble variable 0 from the top level to the bottom, one swap at a time.
+  for (Var level = 0; level + 1 < kVars; ++level) {
+    mgr.SwapAdjacentLevels(level);
+    ASSERT_TRUE(mgr.CheckInvariants()) << "after swap at level " << level;
+    // Level maps stay mutually inverse.
+    for (Var v = 0; v < kVars; ++v) {
+      ASSERT_EQ(mgr.VarAtLevel(mgr.LevelOf(v)), v);
+    }
+    ExpectPoolMatchesTables(mgr, pool, kVars);
+  }
+  EXPECT_EQ(mgr.LevelOf(0), kVars - 1);
+  EXPECT_FALSE(mgr.HasIdentityOrder());
+  // Refs are index+parity stable: the vector of refs is untouched.
+  EXPECT_EQ(pool.refs, before);
+
+  // Undo the permutation; the order returns to the identity.
+  for (Var level = kVars - 1; level > 0; --level) {
+    mgr.SwapAdjacentLevels(level - 1);
+  }
+  EXPECT_TRUE(mgr.HasIdentityOrder());
+  ExpectPoolMatchesTables(mgr, pool, kVars);
+}
+
+TEST(SwapAdjacentLevelsTest, SwapIsItsOwnInverse) {
+  BddManager mgr(4);
+  BddRef f = mgr.Or(mgr.And(mgr.VarTrue(0), mgr.VarTrue(1)),
+                    mgr.And(mgr.VarTrue(2), mgr.VarFalse(3)));
+  std::size_t count = mgr.NodeCount(f);
+  mgr.SwapAdjacentLevels(1);
+  mgr.SwapAdjacentLevels(1);
+  EXPECT_TRUE(mgr.HasIdentityOrder());
+  EXPECT_TRUE(mgr.CheckInvariants());
+  EXPECT_EQ(mgr.NodeCount(f), count);
+  EXPECT_EQ(f, mgr.Or(mgr.And(mgr.VarTrue(0), mgr.VarTrue(1)),
+                      mgr.And(mgr.VarTrue(2), mgr.VarFalse(3))));
+}
+
+class SiftOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SiftOracleTest, VarSiftPreservesEveryFunction) {
+  constexpr Var kVars = 8;
+  BddManager mgr(kVars);
+  Pool pool = BuildRandomPool(mgr, kVars, 50,
+                              /*seed=*/GetParam() * 6151 + 3);
+  SiftResult result = mgr.Sift(SiftMode::kVars, &pool.refs);
+  EXPECT_GE(result.passes, 1u);
+  EXPECT_LE(result.nodes_after, result.nodes_before);
+  EXPECT_TRUE(mgr.CheckInvariants());
+  ExpectPoolMatchesTables(mgr, pool, kVars);
+  // Sifting again from the settled order can only break even.
+  SiftResult again = mgr.Sift(SiftMode::kVars, &pool.refs);
+  EXPECT_LE(again.nodes_after, result.nodes_after);
+  ExpectPoolMatchesTables(mgr, pool, kVars);
+}
+
+TEST_P(SiftOracleTest, GroupSiftKeepsBlocksContiguousAndInOrder) {
+  constexpr Var kVars = 8;
+  BddManager mgr(kVars);
+  mgr.DeclareVarBlock(0, 3);  // {0,1,2} move as one unit.
+  mgr.DeclareVarBlock(4, 2);  // {4,5} move as one unit.
+  Pool pool = BuildRandomPool(mgr, kVars, 50,
+                              /*seed=*/GetParam() * 12289 + 7);
+  mgr.Sift(SiftMode::kGroups, &pool.refs);
+  EXPECT_TRUE(mgr.CheckInvariants());
+  ExpectPoolMatchesTables(mgr, pool, kVars);
+  // Each declared block still occupies consecutive levels in declaration
+  // order within the block.
+  EXPECT_EQ(mgr.LevelOf(1), mgr.LevelOf(0) + 1);
+  EXPECT_EQ(mgr.LevelOf(2), mgr.LevelOf(0) + 2);
+  EXPECT_EQ(mgr.LevelOf(5), mgr.LevelOf(4) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SiftOracleTest, ::testing::Range(1, 6));
+
+TEST(SiftTest, RootBasedSiftReclaimsDeadNodes) {
+  constexpr Var kVars = 10;
+  BddManager mgr(kVars);
+  // One function to keep, plus a pile of intermediates nothing references.
+  BddRef keep = mgr.And(mgr.VarTrue(0), mgr.VarTrue(9));
+  for (int i = 0; i < 50; ++i) {
+    BddRef junk = mgr.Xor(mgr.VarTrue(i % kVars), keep);
+    junk = mgr.And(junk, mgr.VarTrue((i + 3) % kVars));
+  }
+  std::size_t live_before = mgr.LiveNodeCount();
+  std::vector<BddRef> roots{keep};
+  SiftResult result = mgr.Sift(SiftMode::kVars, &roots);
+  EXPECT_LT(mgr.LiveNodeCount(), live_before);
+  EXPECT_LT(result.nodes_after, result.nodes_before);
+  EXPECT_TRUE(mgr.CheckInvariants());
+  // The kept ref still denotes its function.
+  for (std::size_t a = 0; a < (std::size_t{1} << kVars); ++a) {
+    bool expected = ((a >> (kVars - 1)) & 1u) && (a & 1u);
+    ASSERT_EQ(Eval(mgr, keep, a, kVars), expected);
+  }
+}
+
+TEST(SiftTest, PinAllSiftKeepsEveryExistingNode) {
+  constexpr Var kVars = 6;
+  BddManager mgr(kVars);
+  Pool pool = BuildRandomPool(mgr, kVars, 30, /*seed=*/99);
+  std::size_t live_before = mgr.LiveNodeCount();
+  mgr.Sift(SiftMode::kVars, /*roots=*/nullptr);
+  // Without roots every pre-existing node is pinned (an unknown caller may
+  // hold a ref), so the arena cannot shrink below its starting liveness.
+  EXPECT_GE(mgr.LiveNodeCount() + 1, live_before);  // +1: free-slot reuse.
+  EXPECT_TRUE(mgr.CheckInvariants());
+  ExpectPoolMatchesTables(mgr, pool, kVars);
+}
+
+TEST(SiftTest, StatsAccumulateAcrossSifts) {
+  BddManager mgr(8);
+  Pool pool = BuildRandomPool(mgr, 8, 40, /*seed=*/5);
+  mgr.Sift(SiftMode::kVars, &pool.refs);
+  BddStats stats = mgr.Stats();
+  EXPECT_GE(stats.sift_passes, 1u);
+  EXPECT_GT(stats.sift_swaps, 0u);
+  EXPECT_GT(stats.sift_nodes_before, 0u);
+  mgr.Sift(SiftMode::kVars, &pool.refs);
+  BddStats more = mgr.Stats();
+  EXPECT_GT(more.sift_passes, stats.sift_passes);
+}
+
+TEST(AutoSiftTest, GrowthTriggerFiresAndPreservesFunctions) {
+  constexpr Var kVars = 16;
+  const std::size_t kRows = std::size_t{1} << kVars;
+  BddManager mgr(kVars);
+  mgr.SetAutoSift(SiftMode::kVars, /*trigger_ratio=*/1.05);
+
+  // Accumulate random minterms until the arena passes the trigger floor
+  // and the growth check fires between two top-level operations.
+  std::mt19937_64 rng(17);
+  std::vector<bool> table(kRows, false);
+  BddRef f = kFalse;
+  int added = 0;
+  auto add_minterm = [&] {
+    std::size_t a = rng() % kRows;
+    table[a] = true;
+    BddRef m = kTrue;
+    for (Var v = 0; v < kVars; ++v) {
+      bool bit = (a >> (kVars - 1 - v)) & 1u;
+      m = mgr.And(m, bit ? mgr.VarTrue(v) : mgr.VarFalse(v));
+    }
+    f = mgr.Or(f, m);
+    ++added;
+  };
+  while (mgr.Stats().sift_passes == 0 && added < 4000) add_minterm();
+  ASSERT_GE(mgr.Stats().sift_passes, 1u) << "trigger never fired";
+  EXPECT_TRUE(mgr.CheckInvariants());
+  // The accumulated union still matches the minterm set exactly.
+  for (std::size_t a = 0; a < kRows; ++a) {
+    ASSERT_EQ(Eval(mgr, f, a, kVars), static_cast<bool>(table[a]));
+  }
+
+  // Disabled, further growth never sifts again.
+  mgr.DisableAutoSift();
+  std::uint64_t passes = mgr.Stats().sift_passes;
+  for (int i = 0; i < 200; ++i) add_minterm();
+  EXPECT_EQ(mgr.Stats().sift_passes, passes);
+  for (std::size_t a = 0; a < kRows; ++a) {
+    ASSERT_EQ(Eval(mgr, f, a, kVars), static_cast<bool>(table[a]));
+  }
+}
+
+TEST(DeclarationOrderViewTest, SatQueriesAreOrderInsensitive) {
+  constexpr Var kVars = 8;
+  // Reference manager: never reordered.
+  BddManager plain(kVars);
+  // Subject manager: same functions, then sifted.
+  BddManager sifted(kVars);
+  Pool plain_pool = BuildRandomPool(plain, kVars, 40, /*seed=*/21);
+  Pool sifted_pool = BuildRandomPool(sifted, kVars, 40, /*seed=*/21);
+  sifted.Sift(SiftMode::kVars, &sifted_pool.refs);
+  ASSERT_FALSE(sifted.HasIdentityOrder());
+
+  for (std::size_t i = 0; i < plain_pool.refs.size(); ++i) {
+    // AnySat and MinSat pick branches top-down, so their cubes depend on
+    // the order walked; the view pins them to the declaration order.
+    EXPECT_EQ(plain.AnySat(plain_pool.refs[i]),
+              sifted.AnySat(sifted_pool.refs[i]))
+        << "function " << i;
+    EXPECT_EQ(plain.MinSat(plain_pool.refs[i]),
+              sifted.MinSat(sifted_pool.refs[i]))
+        << "function " << i;
+    std::vector<Cube> plain_paths;
+    std::vector<Cube> sifted_paths;
+    plain.ForEachSatPath(plain_pool.refs[i],
+                         [&](const Cube& c) { plain_paths.push_back(c); });
+    sifted.ForEachSatPath(sifted_pool.refs[i],
+                          [&](const Cube& c) { sifted_paths.push_back(c); });
+    EXPECT_EQ(plain_paths, sifted_paths) << "function " << i;
+  }
+}
+
+TEST(DeclarationOrderViewTest, ViewIsIdentityWhenNeverReordered) {
+  BddManager mgr(4);
+  BddRef f = mgr.And(mgr.VarTrue(0), mgr.VarTrue(3));
+  BddManager::OrderedView view = mgr.DeclarationOrderView(f);
+  EXPECT_EQ(view.mgr, &mgr);
+  EXPECT_EQ(view.ref, f);
+}
+
+TEST(SeedFromTest, SeededManagerInheritsSiftedOrder) {
+  constexpr Var kVars = 8;
+  BddManager tmpl(kVars);
+  Pool pool = BuildRandomPool(tmpl, kVars, 40, /*seed=*/33);
+  tmpl.Sift(SiftMode::kVars, &pool.refs);
+  ASSERT_FALSE(tmpl.HasIdentityOrder());
+
+  BddManager seeded;
+  seeded.SeedFrom(tmpl);
+  EXPECT_TRUE(seeded.CheckInvariants());
+  for (Var v = 0; v < kVars; ++v) {
+    EXPECT_EQ(seeded.LevelOf(v), tmpl.LevelOf(v));
+  }
+  // Template refs denote the same functions in the seeded manager, and
+  // re-deriving a pool function interns onto the copied arena node.
+  ExpectPoolMatchesTables(seeded, pool, kVars);
+  EXPECT_EQ(seeded.And(pool.refs[0], pool.refs[1]),
+            tmpl.And(pool.refs[0], pool.refs[1]));
+}
+
+}  // namespace
+}  // namespace campion::bdd
