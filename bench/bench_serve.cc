@@ -1,0 +1,324 @@
+// Daemon A/B benchmark for campion_serve (src/server): measures what the
+// resident service buys over the one-shot CLI pipeline.
+//
+//   1. Cold vs warm template cache on the university-core pair: the first
+//      request pays the encoding-template build plus its one-time sift;
+//      subsequent requests with the same structural keys reuse the cached,
+//      sifted, compacted template. The acceptance bar is warm < 0.5x cold
+//      wall, and the response body must be byte-identical either way.
+//   2. Cache-off baseline: every request pays the full build, which is the
+//      per-request cost the cache amortizes away.
+//   3. GC on/off over a long request sequence (>= 100, cycling three
+//      distinct config pairs): per-request bdd.mem_arena_bytes (from the
+//      obs envelope) must not grow across rounds, and the daemon-side
+//      server.template_cache_resident_bytes must plateau once every
+//      template is cached — with the ratio off/on showing what
+//      mark-and-compact reclaims.
+//
+// Requests go over real loopback HTTP (in-process HttpServer + HttpFetch),
+// so the timings include the transport the daemon's users actually see.
+// With --bench_out=PATH the numbers land in BENCH_serve.json.
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cisco/cisco_unparser.h"
+#include "gen/scenarios.h"
+#include "juniper/juniper_unparser.h"
+#include "server/http.h"
+#include "server/service.h"
+#include "util/json.h"
+
+namespace {
+
+using campion::server::DiffService;
+using campion::server::HttpClientResponse;
+using campion::server::HttpFetch;
+using campion::server::HttpServer;
+using campion::server::ServiceOptions;
+
+// An in-process daemon on an ephemeral loopback port.
+struct Daemon {
+  explicit Daemon(const ServiceOptions& options)
+      : service(options),
+        server(
+            "127.0.0.1", 0,
+            [this](const campion::server::HttpRequest& request) {
+              return service.Handle(request);
+            },
+            /*num_workers=*/1) {
+    std::string error;
+    if (!server.Start(&error)) {
+      std::cerr << "error: cannot start daemon: " << error << "\n";
+      std::exit(1);
+    }
+  }
+  ~Daemon() { server.Stop(); }
+
+  HttpClientResponse Post(const std::string& target, const std::string& body) {
+    HttpClientResponse response;
+    std::string error;
+    if (!HttpFetch("127.0.0.1", server.port(), "POST", target, body, &response,
+                   &error)) {
+      std::cerr << "error: request failed: " << error << "\n";
+      std::exit(1);
+    }
+    return response;
+  }
+
+  HttpClientResponse Get(const std::string& target) {
+    HttpClientResponse response;
+    std::string error;
+    if (!HttpFetch("127.0.0.1", server.port(), "GET", target, "", &response,
+                   &error)) {
+      std::cerr << "error: request failed: " << error << "\n";
+      std::exit(1);
+    }
+    return response;
+  }
+
+  DiffService service;
+  HttpServer server;
+};
+
+ServiceOptions DaemonDefaults() {
+  // Mirrors campion_serve's defaults: cache on, one-time sift per cache
+  // entry, GC on. Serial diff execution keeps the wall times comparable.
+  ServiceOptions options;
+  options.diff.num_threads = 1;
+  options.diff.reorder = campion::core::DiffOptions::ReorderMode::kSift;
+  return options;
+}
+
+std::string DiffBody(const std::string& config1, const std::string& config2,
+                     bool want_obs) {
+  std::string body = "{\"config1\":\"" + campion::util::JsonEscape(config1) +
+                     "\",\"config2\":\"" + campion::util::JsonEscape(config2) +
+                     "\"";
+  if (want_obs) body += ",\"obs\":true";
+  body += "}";
+  return body;
+}
+
+struct ConfigPair {
+  std::string name;
+  std::string config1;  // Cisco text.
+  std::string config2;  // Juniper text.
+};
+
+// Three pairs with distinct structural keys, so the long sequence exercises
+// three cache entries rather than hammering one.
+std::vector<ConfigPair> BuildPairs() {
+  campion::gen::UniversityScenario university =
+      campion::gen::BuildUniversityScenario();
+  std::vector<ConfigPair> pairs;
+  pairs.push_back(
+      {"university_core",
+       campion::cisco::UnparseCiscoConfig(university.core.config1),
+       campion::juniper::UnparseJuniperConfig(university.core.config2)});
+  pairs.push_back(
+      {"university_border",
+       campion::cisco::UnparseCiscoConfig(university.border.config1),
+       campion::juniper::UnparseJuniperConfig(university.border.config2)});
+  // Cross pair: core vs border differ structurally, giving a third key.
+  pairs.push_back(
+      {"core_vs_border",
+       campion::cisco::UnparseCiscoConfig(university.core.config1),
+       campion::juniper::UnparseJuniperConfig(university.border.config2)});
+  return pairs;
+}
+
+double Seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Scrapes one "name value" line from the /metrics exposition.
+double ScrapeMetric(const std::string& metrics, const std::string& name) {
+  const std::string needle = name + " ";
+  std::size_t pos = metrics.find(needle);
+  if (pos == std::string::npos) return 0.0;
+  // Guard against suffix collisions ("x.y" matching "prefix.x.y").
+  while (pos != 0 && metrics[pos - 1] != '\n') {
+    pos = metrics.find(needle, pos + 1);
+    if (pos == std::string::npos) return 0.0;
+  }
+  return std::strtod(metrics.c_str() + pos + needle.size(), nullptr);
+}
+
+// Per-request bdd.mem_arena_bytes out of the obs response envelope.
+double ArenaBytesOf(const HttpClientResponse& response) {
+  campion::util::JsonValue envelope;
+  if (!campion::util::ParseJson(response.body, envelope)) return 0.0;
+  const campion::util::JsonValue* obs = envelope.Find("obs");
+  if (obs == nullptr) return 0.0;
+  const campion::util::JsonValue* metrics = obs->Find("metrics");
+  if (metrics == nullptr) return 0.0;
+  return metrics->NumberOr("bdd.mem_arena_bytes", 0.0);
+}
+
+void PrintSummary() {
+  auto& metrics = campion::benchutil::BenchMetrics::Instance();
+  const std::vector<ConfigPair> pairs = BuildPairs();
+  const ConfigPair& core = pairs[0];
+  const std::string core_body = DiffBody(core.config1, core.config2, false);
+
+  // --- 1. cold vs warm cache on university-core -------------------------
+  std::cout << "cold vs warm template cache (university core):\n";
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  std::string cold_report;
+  bool parity = true;
+  {
+    Daemon daemon(DaemonDefaults());
+    auto t0 = std::chrono::steady_clock::now();
+    HttpClientResponse cold = daemon.Post("/diff", core_body);
+    auto t1 = std::chrono::steady_clock::now();
+    cold_seconds = Seconds(t0, t1);
+    cold_report = cold.body;
+    constexpr int kWarmRuns = 10;
+    warm_seconds = 1e9;
+    for (int i = 0; i < kWarmRuns; ++i) {
+      auto w0 = std::chrono::steady_clock::now();
+      HttpClientResponse warm = daemon.Post("/diff", core_body);
+      auto w1 = std::chrono::steady_clock::now();
+      warm_seconds = std::min(warm_seconds, Seconds(w0, w1));
+      parity = parity && warm.body == cold_report;
+    }
+  }
+  const double ratio = cold_seconds > 0 ? warm_seconds / cold_seconds : 1.0;
+  std::cout << "  cold (cache miss, build+sift): " << std::fixed
+            << std::setprecision(4) << cold_seconds << " s\n"
+            << "  warm (cache hit, best of 10):  " << warm_seconds << " s\n"
+            << "  warm/cold ratio: " << std::setprecision(3) << ratio
+            << (ratio < 0.5 ? "  (< 0.5: PASS)" : "  (>= 0.5: FAIL)") << "\n"
+            << "  response parity: "
+            << (parity ? "OK (byte-identical)" : "BROKEN") << "\n";
+  metrics.Record("cold_request_seconds", cold_seconds);
+  metrics.Record("warm_request_seconds", warm_seconds);
+  metrics.RecordUnit("warm_request_seconds",
+                     "best of 10 cache-hit requests over loopback HTTP");
+  metrics.Record("warm_over_cold_ratio", ratio);
+  metrics.RecordUnit("warm_over_cold_ratio",
+                     "warm request wall / cold request wall (< 0.5 required)");
+  metrics.Record("cold_warm_parity", parity ? 1.0 : 0.0);
+
+  // --- 2. cache-off baseline -------------------------------------------
+  {
+    ServiceOptions options = DaemonDefaults();
+    options.cache = false;
+    Daemon daemon(options);
+    daemon.Post("/diff", core_body);  // Warm allocators and page cache.
+    auto t0 = std::chrono::steady_clock::now();
+    HttpClientResponse response = daemon.Post("/diff", core_body);
+    auto t1 = std::chrono::steady_clock::now();
+    const double nocache_seconds = Seconds(t0, t1);
+    std::cout << "  cache off (every request rebuilds): " << std::fixed
+              << std::setprecision(4) << nocache_seconds << " s\n";
+    metrics.Record("nocache_request_seconds", nocache_seconds);
+    metrics.Record("nocache_parity", response.body == cold_report ? 1.0 : 0.0);
+  }
+
+  // --- 3. GC on/off over a long request sequence ------------------------
+  constexpr int kSequenceRequests = 120;  // >= 100 per the acceptance bar.
+  std::cout << "\n" << kSequenceRequests
+            << " sequential requests cycling " << pairs.size()
+            << " config pairs:\n";
+  double resident_final_gc_on = 0.0;
+  for (const bool gc : {true, false}) {
+    ServiceOptions options = DaemonDefaults();
+    options.gc = gc;
+    Daemon daemon(options);
+    // Arena bytes per pair, first and last round, from the obs envelope.
+    std::vector<double> first_round(pairs.size(), 0.0);
+    std::vector<double> last_round(pairs.size(), 0.0);
+    double resident_peak = 0.0;
+    double resident_after_first_cycle = 0.0;
+    for (int i = 0; i < kSequenceRequests; ++i) {
+      const std::size_t which = i % pairs.size();
+      HttpClientResponse response = daemon.Post(
+          "/diff",
+          DiffBody(pairs[which].config1, pairs[which].config2, true));
+      const double arena = ArenaBytesOf(response);
+      if (first_round[which] == 0.0) first_round[which] = arena;
+      last_round[which] = arena;
+      const double resident = ScrapeMetric(
+          daemon.Get("/metrics").body, "server.template_cache_resident_bytes");
+      resident_peak = std::max(resident_peak, resident);
+      if (i == static_cast<int>(pairs.size()) - 1) {
+        resident_after_first_cycle = resident;
+      }
+    }
+    const std::string metrics_body = daemon.Get("/metrics").body;
+    const double resident_final =
+        ScrapeMetric(metrics_body, "server.template_cache_resident_bytes");
+    bool arena_bounded = true;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      arena_bounded = arena_bounded && last_round[i] <= first_round[i];
+    }
+    // Bounded = the cache plateaus after the first full cycle (every
+    // template built) and per-request arena bytes never grow.
+    const bool resident_bounded = resident_final <= resident_after_first_cycle;
+    const std::string tag = gc ? "gc_on" : "gc_off";
+    std::cout << "  " << (gc ? "gc on: " : "gc off:")
+              << "  resident " << static_cast<long long>(resident_final)
+              << " B (peak " << static_cast<long long>(resident_peak)
+              << " B), per-request arena "
+              << (arena_bounded ? "bounded" : "GROWING (BUG)")
+              << ", cache resident "
+              << (resident_bounded ? "plateaued" : "GROWING (BUG)") << "\n";
+    metrics.Record(tag + "_resident_bytes_final", resident_final);
+    metrics.RecordUnit(tag + "_resident_bytes_final",
+                       "server.template_cache_resident_bytes after " +
+                           std::to_string(kSequenceRequests) + " requests");
+    metrics.Record(tag + "_resident_bytes_peak", resident_peak);
+    metrics.Record(tag + "_arena_bounded", arena_bounded ? 1.0 : 0.0);
+    metrics.Record(tag + "_resident_bounded", resident_bounded ? 1.0 : 0.0);
+    if (gc) {
+      resident_final_gc_on = resident_final;
+      metrics.Record(
+          "gc_reclaimed_nodes",
+          ScrapeMetric(metrics_body,
+                       "server.template_cache_gc_reclaimed_nodes"));
+      metrics.Record(
+          "gc_compacted_bytes",
+          ScrapeMetric(metrics_body,
+                       "server.template_cache_gc_compacted_bytes"));
+    } else if (resident_final > 0.0 && resident_final_gc_on > 0.0) {
+      const double shrink = resident_final_gc_on / resident_final;
+      std::cout << "  gc on/off resident ratio: " << std::setprecision(3)
+                << shrink << "\n";
+      metrics.Record("gc_resident_ratio", shrink);
+      metrics.RecordUnit("gc_resident_ratio",
+                         "cached template resident bytes with GC / without "
+                         "(< 1 = compaction reclaims memory)");
+    }
+  }
+  metrics.Record("sequence_requests", kSequenceRequests);
+}
+
+void BM_WarmDiffRequest(benchmark::State& state) {
+  const std::vector<ConfigPair> pairs = BuildPairs();
+  const std::string body = DiffBody(pairs[0].config1, pairs[0].config2, false);
+  Daemon daemon(DaemonDefaults());
+  daemon.Post("/diff", body);  // Populate the cache.
+  for (auto _ : state) {
+    HttpClientResponse response = daemon.Post("/diff", body);
+    benchmark::DoNotOptimize(response.body);
+  }
+}
+BENCHMARK(BM_WarmDiffRequest)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return campion::benchutil::RunBench(
+      argc, argv,
+      "campion_serve daemon A/B (template cache cold/warm, GC on/off)",
+      PrintSummary);
+}

@@ -33,6 +33,7 @@ run() {
 run bench_bdd
 run bench_full_pipeline
 run bench_reorder
+run bench_serve
 
 # Trace capture: one serial run of the committed university-core pair.
 # --threads=1 plus the deterministic trace structure make the file
@@ -105,4 +106,5 @@ echo "stdout parity: OK (report byte-identical with reordering off and on)"
     "$AB_DIR/trace_reorder_off.json" "$AB_DIR/trace_reorder_sift.json" || true
 
 echo
-echo "Wrote BENCH_bdd.json, BENCH_full_pipeline.json, BENCH_reorder.json, and $TRACE"
+echo "Wrote BENCH_bdd.json, BENCH_full_pipeline.json, BENCH_reorder.json," \
+     "BENCH_serve.json, and $TRACE"

@@ -1,0 +1,486 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/json_report.h"
+#include "frontend/loader.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_report.h"
+#include "util/json.h"
+
+namespace campion::server {
+
+namespace {
+
+HttpResponse JsonError(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = "{\"error\":\"" + util::JsonEscape(message) + "\"}\n";
+  return response;
+}
+
+HttpResponse JsonOk(const std::string& body) {
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = body;
+  return response;
+}
+
+ir::Vendor ParseVendor(const std::string& value) {
+  if (value == "cisco") return ir::Vendor::kCisco;
+  if (value == "juniper") return ir::Vendor::kJuniper;
+  return ir::Vendor::kUnknown;
+}
+
+bool ValidVendor(const std::string& value) {
+  return value.empty() || value == "auto" || value == "cisco" ||
+         value == "juniper";
+}
+
+// Same grammar as the CLI's --checks flag; false on an unknown item.
+bool ParseChecks(const std::string& list, core::DiffOptions* checks,
+                 std::string* error) {
+  checks->check_route_maps = false;
+  checks->check_acls = false;
+  checks->check_static_routes = false;
+  checks->check_connected_routes = false;
+  checks->check_ospf = false;
+  checks->check_bgp_properties = false;
+  checks->check_admin_distances = false;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    std::string item = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (item == "route-maps") {
+      checks->check_route_maps = true;
+    } else if (item == "acls") {
+      checks->check_acls = true;
+    } else if (item == "static") {
+      checks->check_static_routes = true;
+    } else if (item == "connected") {
+      checks->check_connected_routes = true;
+    } else if (item == "ospf") {
+      checks->check_ospf = true;
+    } else if (item == "bgp") {
+      checks->check_bgp_properties = true;
+    } else if (item == "admin") {
+      checks->check_admin_distances = true;
+    } else if (!item.empty()) {
+      *error = "unknown check '" + item + "'";
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+bool ValidSessionName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// Watermark-style obs metrics keep their max across requests when folded
+// into the daemon totals; everything else is a counter and sums.
+bool IsWatermarkMetric(const std::string& name) {
+  return name.find("peak") != std::string::npos ||
+         name.find("load_factor") != std::string::npos ||
+         name.find("resident_bytes") != std::string::npos;
+}
+
+}  // namespace
+
+DiffService::DiffService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_([&] {
+        TemplateCache::Options cache_options;
+        cache_options.reorder = options_.diff.reorder;
+        cache_options.reorder_trigger_ratio =
+            options_.diff.reorder_trigger_ratio;
+        cache_options.gc = options_.gc;
+        cache_options.max_resident_bytes = options_.gc_watermark_bytes;
+        cache_options.max_entries = options_.cache_max_entries;
+        return cache_options;
+      }()) {}
+
+HttpResponse DiffService::Handle(const HttpRequest& request) {
+  BumpCounter("server.requests_total");
+  if (request.path == "/healthz") {
+    if (request.method != "GET") return JsonError(405, "use GET");
+    HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  }
+  if (request.path == "/metrics") {
+    if (request.method != "GET") return JsonError(405, "use GET");
+    return HandleMetrics();
+  }
+  if (request.path == "/diff") {
+    if (request.method != "POST") return JsonError(405, "use POST");
+    return HandleDiff(request);
+  }
+  if (request.path == "/sessions" || request.path.rfind("/sessions/", 0) == 0) {
+    return HandleSessions(request);
+  }
+  BumpCounter("server.errors");
+  return JsonError(404, "unknown endpoint " + request.path);
+}
+
+HttpResponse DiffService::HandleDiff(const HttpRequest& request) {
+  util::JsonValue body;
+  std::string parse_error;
+  if (!util::ParseJson(request.body, body, &parse_error) || !body.IsObject()) {
+    BumpCounter("server.errors");
+    return JsonError(400, "request body must be a JSON object: " +
+                              parse_error);
+  }
+  const util::JsonValue* config1 = body.Find("config1");
+  const util::JsonValue* config2 = body.Find("config2");
+  if (config1 == nullptr || !config1->IsString() || config2 == nullptr ||
+      !config2->IsString()) {
+    BumpCounter("server.errors");
+    return JsonError(400, "fields 'config1' and 'config2' (strings) are required");
+  }
+  std::string vendor1 = "auto";
+  std::string vendor2 = "auto";
+  if (const util::JsonValue* v = body.Find("vendor1"); v != nullptr) {
+    vendor1 = v->string;
+  }
+  if (const util::JsonValue* v = body.Find("vendor2"); v != nullptr) {
+    vendor2 = v->string;
+  }
+  if (!ValidVendor(vendor1) || !ValidVendor(vendor2)) {
+    BumpCounter("server.errors");
+    return JsonError(400, "vendor must be auto, cisco, or juniper");
+  }
+  bool json_format = false;
+  if (const util::JsonValue* v = body.Find("format"); v != nullptr) {
+    if (v->string == "json") {
+      json_format = true;
+    } else if (v->string != "text") {
+      BumpCounter("server.errors");
+      return JsonError(400, "format must be text or json");
+    }
+  }
+  core::DiffOptions diff_options = options_.diff;
+  if (const util::JsonValue* v = body.Find("checks");
+      v != nullptr && v->IsString()) {
+    std::string error;
+    if (!ParseChecks(v->string, &diff_options, &error)) {
+      BumpCounter("server.errors");
+      return JsonError(400, error);
+    }
+  }
+  bool want_obs = false;
+  if (const util::JsonValue* v = body.Find("obs"); v != nullptr) {
+    want_obs = v->boolean;
+  }
+  BumpCounter("server.diff_requests");
+  return RunDiff(config1->string, vendor1, config2->string, vendor2,
+                 diff_options, json_format, want_obs);
+}
+
+HttpResponse DiffService::RunDiff(const std::string& text1,
+                                  const std::string& vendor1,
+                                  const std::string& text2,
+                                  const std::string& vendor2,
+                                  const core::DiffOptions& options,
+                                  bool json_format, bool want_obs) {
+  // One request at a time through the pipeline: the obs registry is
+  // process-global, so this is what makes the capture below attributable
+  // to THIS request (see the header's concurrency-model note).
+  std::lock_guard<std::mutex> pipeline(pipeline_mutex_);
+  const bool obs_was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Instance().Reset();
+  obs::ResetThreadTrace();
+
+  frontend::LoadResult loaded1;
+  frontend::LoadResult loaded2;
+  try {
+    loaded1 = frontend::LoadConfig(text1, "config1", ParseVendor(vendor1));
+    loaded2 = frontend::LoadConfig(text2, "config2", ParseVendor(vendor2));
+  } catch (const std::exception& error) {
+    obs::SetEnabled(obs_was_enabled);
+    BumpCounter("server.errors");
+    BumpCounter("server.parse_failures");
+    return JsonError(422, error.what());
+  }
+
+  core::DiffOptions diff_options = options;
+  std::shared_ptr<const encode::EncodingTemplate> tmpl;
+  bool cache_hit = false;
+  const bool cache_eligible =
+      options_.cache && diff_options.use_encoding_template &&
+      (diff_options.check_route_maps || diff_options.check_acls);
+  if (cache_eligible) {
+    tmpl = cache_.Get(loaded1.config, loaded2.config, &cache_hit);
+    diff_options.external_template = tmpl.get();
+  }
+
+  core::DiffReport report;
+  try {
+    report = core::ConfigDiff(loaded1.config, loaded2.config, diff_options);
+  } catch (const std::exception& error) {
+    obs::SetEnabled(obs_was_enabled);
+    BumpCounter("server.errors");
+    return JsonError(500, error.what());
+  }
+
+  std::vector<obs::Span> spans = obs::TakeThreadSpans();
+  auto metrics = obs::MetricsRegistry::Instance().Snapshot();
+  obs::SetEnabled(obs_was_enabled);
+  FoldMetrics(metrics);
+
+  const std::string report_body =
+      json_format ? core::ReportToJson(report, loaded1.config.hostname,
+                                       loaded2.config.hostname)
+                  : report.Render();
+
+  HttpResponse response;
+  response.headers.emplace_back("X-Campion-Equivalent",
+                                report.Equivalent() ? "true" : "false");
+  response.headers.emplace_back("X-Campion-Differences",
+                                std::to_string(report.entries.size()));
+  response.headers.emplace_back(
+      "X-Campion-Template-Cache",
+      cache_eligible ? (cache_hit ? "hit" : "miss") : "off");
+  if (want_obs) {
+    // The one response shape that is NOT CLI byte-identical, by request:
+    // the report plus this request's span tree and metrics snapshot.
+    response.content_type = "application/json";
+    std::ostringstream out;
+    out << "{\"report\":";
+    if (json_format) {
+      out << report_body;
+    } else {
+      out << '"' << util::JsonEscape(report_body) << '"';
+    }
+    out << ",\"equivalent\":" << (report.Equivalent() ? "true" : "false");
+    out << ",\"obs\":" << obs::TraceToJson(spans, metrics) << "}\n";
+    response.body = out.str();
+    return response;
+  }
+  response.content_type =
+      json_format ? "application/json" : "text/plain; charset=utf-8";
+  response.body = report_body;
+  return response;
+}
+
+HttpResponse DiffService::HandleMetrics() {
+  std::ostringstream out;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    for (const auto& [name, value] : cumulative_) {
+      out << name << ' ' << util::JsonNumber(value) << '\n';
+    }
+  }
+  const TemplateCache::Stats cache = cache_.GetStats();
+  out << "server.template_cache_entries " << cache.entries << '\n';
+  out << "server.template_cache_evictions " << cache.evictions << '\n';
+  out << "server.template_cache_gc_compacted_bytes "
+      << cache.gc_compacted_bytes << '\n';
+  out << "server.template_cache_gc_reclaimed_nodes "
+      << cache.gc_reclaimed_nodes << '\n';
+  out << "server.template_cache_hits " << cache.hits << '\n';
+  out << "server.template_cache_misses " << cache.misses << '\n';
+  out << "server.template_cache_resident_bytes " << cache.resident_bytes
+      << '\n';
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    out << "server.sessions " << sessions_.size() << '\n';
+  }
+  HttpResponse response;
+  response.body = out.str();
+  return response;
+}
+
+HttpResponse DiffService::HandleSessions(const HttpRequest& request) {
+  BumpCounter("server.session_requests");
+  if (request.path == "/sessions") {
+    if (request.method != "GET") return JsonError(405, "use GET");
+    std::ostringstream out;
+    out << "{\"sessions\":[";
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    bool first = true;
+    for (const auto& [name, session] : sessions_) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"name\":\"" << util::JsonEscape(name) << "\",\"has_running\":"
+          << (session.running.empty() ? "false" : "true")
+          << ",\"has_candidate\":"
+          << (session.candidate.empty() ? "false" : "true") << '}';
+    }
+    out << "]}\n";
+    return JsonOk(out.str());
+  }
+
+  // /sessions/<name>[/<verb>]
+  std::string rest = request.path.substr(std::string("/sessions/").size());
+  std::string verb;
+  if (const std::size_t slash = rest.find('/');
+      slash != std::string::npos) {
+    verb = rest.substr(slash + 1);
+    rest = rest.substr(0, slash);
+  }
+  const std::string& name = rest;
+  if (!ValidSessionName(name)) {
+    BumpCounter("server.errors");
+    return JsonError(400, "invalid session name");
+  }
+
+  if (verb == "running" || verb == "candidate") {
+    if (request.method != "PUT") return JsonError(405, "use PUT");
+    if (request.body.empty()) {
+      BumpCounter("server.errors");
+      return JsonError(400, "request body must be the raw config text");
+    }
+    const std::string vendor = request.QueryParam("vendor", "auto");
+    if (!ValidVendor(vendor)) {
+      BumpCounter("server.errors");
+      return JsonError(400, "vendor must be auto, cisco, or juniper");
+    }
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    Session& session = sessions_[name];
+    if (verb == "running") {
+      session.running = request.body;
+      session.running_vendor = vendor;
+    } else {
+      session.candidate = request.body;
+      session.candidate_vendor = vendor;
+    }
+    return JsonOk("{\"session\":\"" + util::JsonEscape(name) +
+                  "\",\"slot\":\"" + verb + "\",\"bytes\":" +
+                  std::to_string(request.body.size()) + "}\n");
+  }
+
+  if (verb == "diff") {
+    if (request.method != "GET") return JsonError(405, "use GET");
+    std::string running;
+    std::string candidate;
+    std::string running_vendor;
+    std::string candidate_vendor;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      auto it = sessions_.find(name);
+      if (it == sessions_.end()) {
+        BumpCounter("server.errors");
+        return JsonError(404, "no session named '" + name + "'");
+      }
+      if (it->second.running.empty()) {
+        BumpCounter("server.errors");
+        return JsonError(409, "session '" + name + "' has no running config");
+      }
+      if (it->second.candidate.empty()) {
+        BumpCounter("server.errors");
+        return JsonError(409,
+                         "session '" + name + "' has no candidate config");
+      }
+      running = it->second.running;
+      candidate = it->second.candidate;
+      running_vendor = it->second.running_vendor;
+      candidate_vendor = it->second.candidate_vendor;
+    }
+    const std::string format = request.QueryParam("format", "text");
+    if (format != "text" && format != "json") {
+      BumpCounter("server.errors");
+      return JsonError(400, "format must be text or json");
+    }
+    core::DiffOptions diff_options = options_.diff;
+    const std::string checks = request.QueryParam("checks");
+    if (!checks.empty()) {
+      std::string error;
+      if (!ParseChecks(checks, &diff_options, &error)) {
+        BumpCounter("server.errors");
+        return JsonError(400, error);
+      }
+    }
+    BumpCounter("server.diff_requests");
+    return RunDiff(running, running_vendor, candidate, candidate_vendor,
+                   diff_options, format == "json",
+                   request.QueryParam("obs") == "1");
+  }
+
+  if (verb == "commit" || verb == "rollback") {
+    if (request.method != "POST") return JsonError(405, "use POST");
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    auto it = sessions_.find(name);
+    if (it == sessions_.end()) {
+      BumpCounter("server.errors");
+      return JsonError(404, "no session named '" + name + "'");
+    }
+    if (it->second.candidate.empty()) {
+      BumpCounter("server.errors");
+      return JsonError(409, "session '" + name + "' has no candidate config");
+    }
+    if (verb == "commit") {
+      it->second.running = std::move(it->second.candidate);
+      it->second.running_vendor = it->second.candidate_vendor;
+    }
+    it->second.candidate.clear();
+    it->second.candidate_vendor = "auto";
+    return JsonOk("{\"session\":\"" + util::JsonEscape(name) + "\",\"" +
+                  verb + "\":true}\n");
+  }
+
+  if (verb.empty()) {
+    if (request.method == "DELETE") {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      if (sessions_.erase(name) == 0) {
+        BumpCounter("server.errors");
+        return JsonError(404, "no session named '" + name + "'");
+      }
+      return JsonOk("{\"deleted\":\"" + util::JsonEscape(name) + "\"}\n");
+    }
+    if (request.method == "GET") {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      auto it = sessions_.find(name);
+      if (it == sessions_.end()) {
+        BumpCounter("server.errors");
+        return JsonError(404, "no session named '" + name + "'");
+      }
+      return JsonOk("{\"name\":\"" + util::JsonEscape(name) +
+                    "\",\"has_running\":" +
+                    (it->second.running.empty() ? "false" : "true") +
+                    ",\"has_candidate\":" +
+                    (it->second.candidate.empty() ? "false" : "true") +
+                    "}\n");
+    }
+    return JsonError(405, "use GET or DELETE");
+  }
+
+  BumpCounter("server.errors");
+  return JsonError(404, "unknown session operation '" + verb + "'");
+}
+
+void DiffService::FoldMetrics(
+    const std::vector<std::pair<std::string, double>>& snapshot) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  for (const auto& [name, value] : snapshot) {
+    if (IsWatermarkMetric(name)) {
+      double& slot = cumulative_[name];
+      slot = std::max(slot, value);
+    } else {
+      cumulative_[name] += value;
+    }
+  }
+}
+
+void DiffService::BumpCounter(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  cumulative_[name] += delta;
+}
+
+}  // namespace campion::server

@@ -1,0 +1,118 @@
+#pragma once
+
+// DiffService: the campion_serve daemon's request brain (docs/daemon.md is
+// the API reference; this header documents the implementation contract).
+//
+// Endpoints:
+//   GET  /healthz                       liveness probe
+//   GET  /metrics                       cumulative daemon metrics, text
+//   POST /diff                          one-shot comparison (JSON body)
+//   GET  /sessions                      list sessions (JSON)
+//   PUT  /sessions/<name>/running       upload the running config (raw text)
+//   PUT  /sessions/<name>/candidate     upload the candidate config
+//   GET  /sessions/<name>               session status (JSON)
+//   GET  /sessions/<name>/diff          diff running vs candidate
+//   POST /sessions/<name>/commit        promote candidate to running
+//   POST /sessions/<name>/rollback      discard the candidate
+//   DELETE /sessions/<name>             drop the session
+//
+// Determinism contract: a /diff (or session diff) response body is the
+// EXACT byte sequence the one-shot CLI writes to stdout for the same two
+// configs and format, at every `--threads` value — request metadata
+// travels in X-Campion-* headers, never in the body, so `curl | diff -`
+// against the CLI is the CI smoke check. The optional obs envelope
+// (`"obs": true` / `?obs=1`) is the one deliberate exception: it wraps the
+// report in JSON together with the request's span tree and metrics.
+//
+// Concurrency model: connection workers parse HTTP in parallel, but the
+// diff pipeline itself is serialized through one mutex. That is not a
+// cop-out — it is what makes per-request observability sound: the obs
+// metrics registry is process-global, so the service resets it, runs the
+// request (which still fans out over `--threads` workers *inside*
+// ConfigDiff), snapshots, and folds the snapshot into the daemon's
+// cumulative metrics. Parallelism across requests would interleave two
+// requests' counters with no way to separate them. Throughput comes from
+// within-request threading and the cross-request template cache, not from
+// overlapping pipelines.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/config_diff.h"
+#include "ir/config.h"
+#include "server/http.h"
+#include "server/template_cache.h"
+
+namespace campion::server {
+
+struct ServiceOptions {
+  // Baseline diff options for every request: threads, template on/off,
+  // reorder mode. Per-request JSON fields override checks/format only,
+  // never the performance knobs (those are fleet configuration).
+  core::DiffOptions diff;
+  // Cross-request template cache (off = every request builds privately,
+  // exactly like the CLI).
+  bool cache = true;
+  // Template-manager GC: per-template compaction after build plus the LRU
+  // byte watermark below. Off = the bench_serve A/B baseline.
+  bool gc = true;
+  std::size_t gc_watermark_bytes = 256 * 1024 * 1024;
+  std::size_t cache_max_entries = 0;  // 0 = unlimited.
+};
+
+class DiffService {
+ public:
+  explicit DiffService(ServiceOptions options);
+
+  // Thread-safe: called concurrently by HttpServer's connection workers.
+  HttpResponse Handle(const HttpRequest& request);
+
+  TemplateCache::Stats CacheStats() const { return cache_.GetStats(); }
+
+ private:
+  struct Session {
+    // Configs are stored as text and re-parsed per diff: parsing is cheap
+    // next to the semantic diff, and storing text keeps commit/rollback
+    // trivially exact (no IR round-trip).
+    std::string running;
+    std::string candidate;
+    std::string running_vendor = "auto";    // As uploaded (?vendor=).
+    std::string candidate_vendor = "auto";
+  };
+
+  HttpResponse HandleDiff(const HttpRequest& request);
+  HttpResponse HandleMetrics();
+  HttpResponse HandleSessions(const HttpRequest& request);
+
+  // Parses, diffs, and renders one comparison under the pipeline mutex,
+  // capturing the request's spans and metrics. Returns the full response
+  // (including error responses for unparseable configs).
+  HttpResponse RunDiff(const std::string& text1, const std::string& vendor1,
+                       const std::string& text2, const std::string& vendor2,
+                       const core::DiffOptions& options, bool json_format,
+                       bool want_obs);
+
+  void FoldMetrics(
+      const std::vector<std::pair<std::string, double>>& snapshot);
+  void BumpCounter(const std::string& name, double delta = 1.0);
+
+  ServiceOptions options_;
+  TemplateCache cache_;
+
+  // Serializes the parse→template→diff→render pipeline (see header
+  // comment). Never held while blocking on client I/O.
+  std::mutex pipeline_mutex_;
+
+  std::mutex sessions_mutex_;
+  std::map<std::string, Session> sessions_;
+
+  // Daemon-cumulative metrics (server.* counters plus every obs metric the
+  // requests produced, summed). /metrics renders this map.
+  mutable std::mutex metrics_mutex_;
+  std::map<std::string, double> cumulative_;
+};
+
+}  // namespace campion::server

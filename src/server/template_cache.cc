@@ -1,0 +1,197 @@
+#include "server/template_cache.h"
+
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "bdd/bdd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace campion::server {
+
+namespace {
+
+std::optional<bdd::SiftMode> SiftModeFor(
+    core::DiffOptions::ReorderMode mode) {
+  switch (mode) {
+    case core::DiffOptions::ReorderMode::kOff:
+      return std::nullopt;
+    case core::DiffOptions::ReorderMode::kSift:
+      return bdd::SiftMode::kVars;
+    case core::DiffOptions::ReorderMode::kGroupSift:
+      return bdd::SiftMode::kGroups;
+  }
+  return std::nullopt;
+}
+
+void AppendStructuralKeys(const ir::RouterConfig& config,
+                          std::set<std::string>& prefix_keys,
+                          std::set<std::string>& community_keys,
+                          std::set<std::string>& acl_keys) {
+  for (const auto& [name, list] : config.prefix_lists) {
+    prefix_keys.insert(encode::PrefixListKey(list));
+  }
+  for (const auto& [name, list] : config.community_lists) {
+    community_keys.insert(encode::CommunityListKey(list));
+  }
+  for (const auto& [name, acl] : config.acls) {
+    for (const auto& line : acl.lines) {
+      acl_keys.insert(encode::AclLineMatchKey(line));
+    }
+  }
+}
+
+}  // namespace
+
+std::string TemplateCacheKey(const ir::RouterConfig& config1,
+                             const ir::RouterConfig& config2) {
+  std::ostringstream key;
+  // The community universe in layout order: the template concatenates
+  // config1's then config2's sorted universes verbatim, and that vector is
+  // what assigns community variables. Anything short of the exact sequence
+  // could alias two different variable layouts under one key.
+  key << "communities=";
+  for (const auto& c : config1.AllCommunities()) key << c.ToString() << ',';
+  key << '|';
+  for (const auto& c : config2.AllCommunities()) key << c.ToString() << ',';
+  // Structural keys as sets: the template dedupes across sides and ignores
+  // declaration order, so the key does too.
+  std::set<std::string> prefix_keys;
+  std::set<std::string> community_keys;
+  std::set<std::string> acl_keys;
+  AppendStructuralKeys(config1, prefix_keys, community_keys, acl_keys);
+  AppendStructuralKeys(config2, prefix_keys, community_keys, acl_keys);
+  key << ";prefix_lists=";
+  for (const auto& k : prefix_keys) key << k << '\036';
+  key << ";community_lists=";
+  for (const auto& k : community_keys) key << k << '\036';
+  key << ";acl_lines=";
+  for (const auto& k : acl_keys) key << k << '\036';
+  return key.str();
+}
+
+std::size_t TemplateCache::ResidentBytes(
+    const encode::EncodingTemplate& tmpl) {
+  std::size_t bytes = 0;
+  if (tmpl.has_route_side()) {
+    bytes += tmpl.route_manager().MemoryStats().total_bytes;
+  }
+  if (tmpl.has_packet_side()) {
+    bytes += tmpl.packet_manager().MemoryStats().total_bytes;
+  }
+  return bytes;
+}
+
+std::shared_ptr<const encode::EncodingTemplate> TemplateCache::Get(
+    const ir::RouterConfig& config1, const ir::RouterConfig& config2,
+    bool* cache_hit) {
+  const std::string key = TemplateCacheKey(config1, config2);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      lru_.erase(it->second.lru_position);
+      lru_.push_front(key);
+      it->second.lru_position = lru_.begin();
+      ++stats_.hits;
+      if (cache_hit != nullptr) *cache_hit = true;
+      obs::Count("encode.template_cache_hit");
+      return it->second.tmpl;
+    }
+  }
+  // Build outside the lock's critical path conceptually, but requests are
+  // serialized through the service's pipeline mutex anyway, and a single
+  // build lock keeps two concurrent misses on one key from duplicating the
+  // most expensive operation the daemon performs.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    // Lost a race between the two lock scopes.
+    lru_.erase(it->second.lru_position);
+    lru_.push_front(key);
+    it->second.lru_position = lru_.begin();
+    ++stats_.hits;
+    if (cache_hit != nullptr) *cache_hit = true;
+    obs::Count("encode.template_cache_hit");
+    return it->second.tmpl;
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  ++stats_.misses;
+  obs::Count("encode.template_cache_miss");
+
+  const std::optional<bdd::SiftMode> sift_mode = SiftModeFor(options_.reorder);
+  auto tmpl = std::make_shared<encode::EncodingTemplate>(
+      config1, config2, /*route_side=*/true, /*packet_side=*/true,
+      /*sift_witnesses=*/sift_mode.has_value());
+  {
+    obs::ScopedSpan span("encode_template_cache_build",
+                         config1.hostname + " vs " + config2.hostname);
+    if (sift_mode.has_value()) {
+      bdd::SiftResult sift = tmpl->Reorder(*sift_mode);
+      span.AddAttr("sift_passes", static_cast<double>(sift.passes));
+      span.AddAttr("sift_swaps", static_cast<double>(sift.swaps));
+    }
+    if (options_.gc) {
+      bdd::GcResult gc = tmpl->Compact();
+      stats_.gc_reclaimed_nodes += gc.reclaimed;
+      if (gc.arena_bytes_before > gc.arena_bytes_after) {
+        stats_.gc_compacted_bytes +=
+            gc.arena_bytes_before - gc.arena_bytes_after;
+      }
+      span.AddAttr("gc_reclaimed_nodes", static_cast<double>(gc.reclaimed));
+      obs::Count("bdd.gc_runs", 1.0);
+      obs::Count("bdd.gc_reclaimed_nodes", static_cast<double>(gc.reclaimed));
+    }
+  }
+
+  Entry entry;
+  entry.tmpl = tmpl;
+  entry.resident_bytes = ResidentBytes(*tmpl);
+  lru_.push_front(key);
+  entry.lru_position = lru_.begin();
+  stats_.resident_bytes += entry.resident_bytes;
+  entries_.emplace(key, std::move(entry));
+  stats_.entries = entries_.size();
+  EvictIfNeeded();
+  obs::MaxGauge("encode.template_cache_resident_bytes",
+                static_cast<double>(stats_.resident_bytes));
+  return tmpl;
+}
+
+void TemplateCache::EvictIfNeeded() {
+  auto over_limit = [this] {
+    if (options_.max_entries != 0 && entries_.size() > options_.max_entries) {
+      return true;
+    }
+    return options_.gc && options_.max_resident_bytes != 0 &&
+           stats_.resident_bytes > options_.max_resident_bytes;
+  };
+  // Never evict the entry just inserted: a watermark smaller than one
+  // template must still serve the current request.
+  while (entries_.size() > 1 && over_limit()) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    stats_.resident_bytes -= it->second.resident_bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+    obs::Count("encode.template_cache_eviction");
+  }
+  stats_.entries = entries_.size();
+}
+
+TemplateCache::Stats TemplateCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void TemplateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  stats_.entries = 0;
+  stats_.resident_bytes = 0;
+}
+
+}  // namespace campion::server

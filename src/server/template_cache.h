@@ -1,0 +1,128 @@
+#pragma once
+
+// Cross-request encoding-template cache (the daemon's reason to exist).
+//
+// The one-shot pipeline builds an EncodingTemplate per invocation, sifts it
+// when reordering is on, and throws both away at exit — the expensive parts
+// of a comparison paid again on every run. A resident daemon can do better:
+// the template's content is fully determined by the PR 5 canonical
+// structural keys (which prefix lists / community lists / ACL match clauses
+// exist, by structure, not by name) plus the community universe that fixes
+// the route layout's variable assignment. Two requests whose configs agree
+// on those produce byte-identical templates, so the cache keys on exactly
+// that and hands the same frozen template to every matching request:
+//
+//   miss — build the template, sift it once (when the server runs with
+//          reordering) and mark-and-compact both managers
+//          (EncodingTemplate::Compact) so the resident copy holds only
+//          live, densely packed nodes;
+//   hit  — return the shared frozen template; the request seeds pair
+//          managers from it (ConfigDiff's `external_template`) and skips
+//          the build, the sift, and the GC entirely.
+//
+// Soundness: ConfigDiff consults the template only through key-based
+// lookups, and a reduced ordered BDD is canonical per function and
+// variable order — so a template built from a *different* config pair with
+// the same key is indistinguishable from one built for this pair, and the
+// report stays byte-identical to the template-off and CLI paths (pinned by
+// tests/server/server_test.cc). The sift witnesses baked into the cached
+// template came from the pair that built it; they only shaped the variable
+// order, and every order yields the same report.
+//
+// Residency is bounded two ways: per-template compaction above, and an LRU
+// byte watermark across entries — when the resident total (template
+// manager MemoryStats) exceeds `max_resident_bytes`, least-recently-used
+// entries are dropped (their templates die when the last in-flight request
+// releases its shared_ptr). `bench_serve` demonstrates the resulting flat
+// memory profile over 100+ distinct-pair requests.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/config_diff.h"
+#include "encode/encoding_template.h"
+#include "ir/config.h"
+
+namespace campion::server {
+
+// The canonical cache key: the ordered community universe exactly as the
+// template's route layout consumes it (config1's sorted communities, then
+// config2's), followed by the sorted distinct structural keys of both
+// configs' prefix lists, community lists, and ACL lines. Everything the
+// frozen template's lookup surface depends on, nothing it doesn't (names,
+// spans, route-map structure).
+std::string TemplateCacheKey(const ir::RouterConfig& config1,
+                             const ir::RouterConfig& config2);
+
+class TemplateCache {
+ public:
+  struct Options {
+    // Sift mode applied once per cached template at build time
+    // (DiffOptions::ReorderMode mapped through the same helper ConfigDiff
+    // uses). kOff skips the sift.
+    core::DiffOptions::ReorderMode reorder =
+        core::DiffOptions::ReorderMode::kOff;
+    double reorder_trigger_ratio = 2.0;
+    // Compact template managers after build (EncodingTemplate::Compact)
+    // and enforce the byte watermark. Off = the A/B baseline: templates
+    // keep their construction garbage and nothing is ever evicted.
+    bool gc = true;
+    // LRU eviction watermark over the summed resident bytes of all cached
+    // templates. 0 = unlimited. Only enforced when `gc` is on.
+    std::size_t max_resident_bytes = 256 * 1024 * 1024;
+    // Hard cap on entries (0 = unlimited), independent of `gc`.
+    std::size_t max_entries = 0;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t resident_bytes = 0;
+    // Cumulative GcResult tallies from per-template compactions.
+    std::uint64_t gc_reclaimed_nodes = 0;
+    std::uint64_t gc_compacted_bytes = 0;
+  };
+
+  explicit TemplateCache(Options options) : options_(options) {}
+
+  // Returns the cached template for this pair's key, building it on a
+  // miss. `cache_hit`, when non-null, reports which happened. The returned
+  // pointer keeps the template alive even if eviction drops the entry
+  // mid-request. Also records per-request metrics
+  // (encode.template_cache_hit / _miss, and on a miss the build/sift/gc
+  // spans) into the ambient obs context when tracing is enabled.
+  std::shared_ptr<const encode::EncodingTemplate> Get(
+      const ir::RouterConfig& config1, const ir::RouterConfig& config2,
+      bool* cache_hit = nullptr);
+
+  Stats GetStats() const;
+
+  // Drops every entry (templates survive while requests hold them).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const encode::EncodingTemplate> tmpl;
+    std::size_t resident_bytes = 0;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  // Sum of both template managers' MemoryStats totals.
+  static std::size_t ResidentBytes(const encode::EncodingTemplate& tmpl);
+  void EvictIfNeeded();  // Caller holds mutex_.
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // Front = most recently used.
+  Stats stats_;
+};
+
+}  // namespace campion::server

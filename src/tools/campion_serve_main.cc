@@ -1,0 +1,265 @@
+// campion_serve: the resident comparison daemon. Accepts diff requests
+// over HTTP, amortizes the encoding-template build / one-time sift across
+// requests via a cross-request cache, and bounds resident BDD memory with
+// mark-and-compact GC. docs/daemon.md is the authoritative API reference.
+//
+//   campion_serve [options]
+//
+// Options:
+//   --port=N                 Listen port (default 8080; 0 = ephemeral,
+//                            printed on startup).
+//   --bind=ADDR              Bind address (default 127.0.0.1).
+//   --threads=N              Worker threads per diff request
+//                            (0 = hardware concurrency, 1 = serial).
+//   --http_threads=N         Connection-handling threads (default 4).
+//   --encoding_template=on|off  Seed pair managers from a shared template
+//                            (default on; reports byte-identical).
+//   --cache=on|off           Cross-request template cache (default on).
+//   --cache_entries=N        Max cached templates (0 = unlimited).
+//   --reorder=off|sift|group_sift  One-time template sift per cache entry
+//                            (default sift: the daemon amortizes it).
+//   --reorder_trigger_ratio=R  Pair-manager auto-sift trigger (min 1.1).
+//   --gc=on|off              Template compaction + resident-byte watermark
+//                            (default on).
+//   --gc_watermark_mb=N      Resident template bytes before LRU eviction
+//                            (default 256).
+//   --help                   Print usage and exit 0.
+//
+// Shutdown: SIGTERM or SIGINT stops accepting, drains in-flight requests,
+// and exits 0 (the CI smoke job asserts this).
+//
+// Exit status: 0 clean shutdown, 1 on usage or bind failures.
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "server/http.h"
+#include "server/service.h"
+
+namespace {
+
+struct Options {
+  int port = 8080;
+  std::string bind = "127.0.0.1";
+  unsigned http_threads = 4;
+  campion::server::ServiceOptions service;
+};
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: campion_serve [options]\n"
+         "  --port=N        listen port (default 8080; 0 = ephemeral,\n"
+         "                  printed on startup)\n"
+         "  --bind=ADDR     bind address (default 127.0.0.1)\n"
+         "  --threads=N     worker threads per diff request\n"
+         "                  (0 = hardware concurrency, 1 = serial)\n"
+         "  --http_threads=N\n"
+         "                  connection-handling threads (default 4)\n"
+         "  --encoding_template=on|off\n"
+         "                  seed per-pair BDD managers from a shared\n"
+         "                  read-only encoding template (default on; the\n"
+         "                  report is byte-identical either way)\n"
+         "  --cache=on|off  cross-request template cache keyed by the\n"
+         "                  canonical structural keys (default on)\n"
+         "  --cache_entries=N\n"
+         "                  max cached templates (0 = unlimited)\n"
+         "  --reorder=off|sift|group_sift\n"
+         "                  one-time template sift per cache entry\n"
+         "                  (default sift; the report is byte-identical\n"
+         "                  at every mode)\n"
+         "  --reorder_trigger_ratio=R\n"
+         "                  auto-sift a pair manager when its live node\n"
+         "                  count grows past R x the count at the last\n"
+         "                  sift (default 2.0, min 1.1)\n"
+         "  --gc=on|off     BDD arena mark-and-compact GC for cached\n"
+         "                  templates plus the resident-byte watermark\n"
+         "                  (default on)\n"
+         "  --gc_watermark_mb=N\n"
+         "                  resident template bytes before least-recently-\n"
+         "                  used cache eviction (default 256)\n"
+         "  --help          print this message and exit 0\n"
+         "exit status: 0 clean shutdown, 1 error\n";
+}
+
+int Usage() {
+  PrintUsage(std::cerr);
+  return 1;
+}
+
+bool ParseOnOff(const std::string& value, const char* flag, bool* out) {
+  if (value == "on") {
+    *out = true;
+    return true;
+  }
+  if (value == "off") {
+    *out = false;
+    return true;
+  }
+  std::cerr << "error: " << flag << " expects on or off, got '" << value
+            << "'\n";
+  return false;
+}
+
+bool ParseUnsigned(const std::string& value, const char* flag,
+                   unsigned long* out) {
+  char* end = nullptr;
+  *out = std::strtoul(value.c_str(), &end, 10);
+  if (value.empty() || end == nullptr || *end != '\0') {
+    std::cerr << "error: invalid value for " << flag << ": '" << value
+              << "'\n";
+    return false;
+  }
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Options* options, int* exit_code) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> std::string {
+      return arg.substr(std::strlen(flag));
+    };
+    unsigned long number = 0;
+    if (arg == "--help") {
+      PrintUsage(std::cout);
+      *exit_code = 0;
+      return false;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      if (!ParseUnsigned(value_of("--port="), "--port", &number)) return false;
+      if (number > 65535) {
+        std::cerr << "error: port out of range\n";
+        return false;
+      }
+      options->port = static_cast<int>(number);
+    } else if (arg.rfind("--bind=", 0) == 0) {
+      options->bind = value_of("--bind=");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (!ParseUnsigned(value_of("--threads="), "--threads", &number)) {
+        return false;
+      }
+      options->service.diff.num_threads = static_cast<unsigned>(number);
+    } else if (arg.rfind("--http_threads=", 0) == 0) {
+      if (!ParseUnsigned(value_of("--http_threads="), "--http_threads",
+                         &number) ||
+          number == 0) {
+        std::cerr << "error: --http_threads must be >= 1\n";
+        return false;
+      }
+      options->http_threads = static_cast<unsigned>(number);
+    } else if (arg.rfind("--encoding_template=", 0) == 0) {
+      if (!ParseOnOff(value_of("--encoding_template="), "--encoding_template",
+                      &options->service.diff.use_encoding_template)) {
+        return false;
+      }
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      if (!ParseOnOff(value_of("--cache="), "--cache",
+                      &options->service.cache)) {
+        return false;
+      }
+    } else if (arg.rfind("--cache_entries=", 0) == 0) {
+      if (!ParseUnsigned(value_of("--cache_entries="), "--cache_entries",
+                         &number)) {
+        return false;
+      }
+      options->service.cache_max_entries = number;
+    } else if (arg.rfind("--reorder=", 0) == 0) {
+      const std::string value = value_of("--reorder=");
+      if (value == "off") {
+        options->service.diff.reorder =
+            campion::core::DiffOptions::ReorderMode::kOff;
+      } else if (value == "sift") {
+        options->service.diff.reorder =
+            campion::core::DiffOptions::ReorderMode::kSift;
+      } else if (value == "group_sift") {
+        options->service.diff.reorder =
+            campion::core::DiffOptions::ReorderMode::kGroupSift;
+      } else {
+        std::cerr << "error: unknown reorder mode '" << value
+                  << "' (expected off, sift, or group_sift)\n";
+        return false;
+      }
+    } else if (arg.rfind("--reorder_trigger_ratio=", 0) == 0) {
+      const std::string value = value_of("--reorder_trigger_ratio=");
+      char* end = nullptr;
+      const double ratio = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0' || ratio < 1.1) {
+        std::cerr << "error: invalid reorder trigger ratio '" << value
+                  << "' (min 1.1)\n";
+        return false;
+      }
+      options->service.diff.reorder_trigger_ratio = ratio;
+    } else if (arg.rfind("--gc=", 0) == 0) {
+      if (!ParseOnOff(value_of("--gc="), "--gc", &options->service.gc)) {
+        return false;
+      }
+    } else if (arg.rfind("--gc_watermark_mb=", 0) == 0) {
+      if (!ParseUnsigned(value_of("--gc_watermark_mb="), "--gc_watermark_mb",
+                         &number)) {
+        return false;
+      }
+      options->service.gc_watermark_bytes = number * 1024 * 1024;
+    } else {
+      std::cerr << "error: unknown option '" << arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+volatile std::sig_atomic_t g_shutdown = 0;
+int g_wakeup_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  g_shutdown = 1;
+  // Self-pipe: the only async-signal-safe way to wake the main thread.
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_wakeup_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  int exit_code = 1;
+  if (!ParseArgs(argc, argv, &options, &exit_code)) {
+    return exit_code == 0 ? 0 : Usage();
+  }
+
+  if (::pipe(g_wakeup_pipe) != 0) {
+    std::cerr << "error: pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  campion::server::DiffService service(options.service);
+  campion::server::HttpServer server(
+      options.bind, options.port,
+      [&service](const campion::server::HttpRequest& request) {
+        return service.Handle(request);
+      },
+      options.http_threads);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::cerr << "error: cannot listen on " << options.bind << ":"
+              << options.port << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << "campion_serve listening on http://" << options.bind << ":"
+            << server.port() << "/\n"
+            << std::flush;
+
+  // Block until a shutdown signal lands on the self-pipe.
+  char byte;
+  while (!g_shutdown) {
+    if (::read(g_wakeup_pipe[0], &byte, 1) > 0) break;
+    if (errno != EINTR) break;
+  }
+  std::cout << "campion_serve shutting down\n" << std::flush;
+  server.Stop();
+  return 0;
+}

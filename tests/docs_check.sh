@@ -8,13 +8,17 @@
 #      (use it for illustrative output or heavy commands like full builds).
 #      Occurrences of `build/` in a command resolve to the actual build
 #      directory, so docs can show the conventional layout.
-#   2. Cross-checks docs/cli.md against `campion --help` and
-#      `campion_trace_diff --help`: every flag either binary advertises
-#      must be documented, and every flag the manual documents must exist
-#      in one of them.
+#   2. Cross-checks docs/cli.md against `campion --help`,
+#      `campion_trace_diff --help`, and `campion_serve --help`: every flag
+#      a binary advertises must be documented, and every flag the manual
+#      documents must exist in one of them.
+#   3. Cross-checks docs/daemon.md against the daemon: every campion_serve
+#      flag must appear in the API reference, and every documented
+#      endpoint path must be one the daemon actually serves (and vice
+#      versa for the canonical endpoint list below).
 #
 # Usage: docs_check.sh <source_dir> <build_dir> <campion_binary> \
-#                      <trace_diff_binary>
+#                      <trace_diff_binary> <campion_serve_binary>
 
 set -u
 
@@ -22,6 +26,7 @@ SRC_DIR=$1
 BUILD_DIR=$2
 CAMPION=$3
 TRACE_DIFF=$4
+CAMPION_SERVE=$5
 
 failures=0
 
@@ -96,7 +101,7 @@ for doc in "$SRC_DIR"/docs/*.md; do
 done
 
 echo "== cross-checking docs/cli.md against --help =="
-help_text=$("$CAMPION" --help; "$TRACE_DIFF" --help)
+help_text=$("$CAMPION" --help; "$TRACE_DIFF" --help; "$CAMPION_SERVE" --help)
 help_flags=$(printf '%s\n' "$help_text" | grep -oE -- '--[a-z][a-z0-9_-]*' | sort -u)
 doc_flags=$(grep -oE -- '--[a-z][a-z0-9_-]*' "$SRC_DIR/docs/cli.md" | sort -u)
 for flag in $help_flags; do
@@ -116,6 +121,40 @@ for flag in $doc_flags; do
     failures=$((failures + 1))
   fi
 done
+
+echo "== cross-checking docs/daemon.md against campion_serve =="
+DAEMON_MD=$SRC_DIR/docs/daemon.md
+if [ ! -f "$DAEMON_MD" ]; then
+  echo "FAIL docs/daemon.md is missing"
+  failures=$((failures + 1))
+else
+  serve_flags=$("$CAMPION_SERVE" --help | grep -oE -- '--[a-z][a-z0-9_-]*' | sort -u)
+  for flag in $serve_flags; do
+    if ! grep -qF -- "$flag" "$DAEMON_MD"; then
+      echo "FAIL docs/daemon.md does not document $flag"
+      failures=$((failures + 1))
+    fi
+  done
+  # The daemon's endpoint table, kept in sync with DiffService::Handle.
+  for endpoint in /healthz /metrics /diff /sessions; do
+    if ! grep -qF -- "$endpoint" "$DAEMON_MD"; then
+      echo "FAIL docs/daemon.md does not document endpoint $endpoint"
+      failures=$((failures + 1))
+    fi
+  done
+  # Conversely, refuse paths documented as endpoints but never implemented:
+  # any `/word` rendered in backticks must be a known prefix.
+  while IFS= read -r documented; do
+    case $documented in
+      /healthz|/metrics|/diff|/sessions|/sessions/*) ;;
+      *)
+        echo "FAIL docs/daemon.md documents unknown endpoint $documented"
+        failures=$((failures + 1))
+        ;;
+    esac
+  done < <(grep -oE '`(GET|PUT|POST|DELETE) /[^`]*`' "$DAEMON_MD" \
+             | sed -E 's/`[A-Z]+ ([^`?]*).*/\1/' | sort -u)
+fi
 
 if [ $failures -ne 0 ]; then
   echo "docs_check: $failures failure(s)"
