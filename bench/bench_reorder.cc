@@ -115,7 +115,7 @@ ModeRun RunMode(const Workload& workload, DiffOptions::ReorderMode mode) {
   // Traced run so the metrics registry accumulates bdd.arena_nodes across
   // every manager (template + pairs) exactly as `campion --stats` would.
   campion::obs::ResetThreadTrace();
-  campion::obs::MetricsRegistry::Instance().Reset();
+  campion::obs::ProcessMetrics().Reset();
   campion::obs::SetEnabled(true);
   DiffOptions options = workload.options;
   options.reorder = mode;
@@ -130,10 +130,10 @@ ModeRun RunMode(const Workload& workload, DiffOptions::ReorderMode mode) {
   run.seconds = std::chrono::duration<double>(t1 - t0).count();
   run.report = report.Render();
   for (const auto& [name, value] :
-       campion::obs::MetricsRegistry::Instance().Snapshot()) {
+       campion::obs::ProcessMetrics().Snapshot()) {
     if (name == "bdd.arena_nodes") run.arena_nodes = value;
   }
-  campion::obs::MetricsRegistry::Instance().Reset();
+  campion::obs::ProcessMetrics().Reset();
   return run;
 }
 

@@ -98,7 +98,7 @@ class BenchMetrics {
 template <typename Fn>
 inline void RecordTracedRun(Fn&& fn) {
   obs::ResetThreadTrace();
-  obs::MetricsRegistry::Instance().Reset();
+  obs::ProcessMetrics().Reset();
   obs::SetEnabled(true);
   fn();
   obs::SetEnabled(false);
@@ -109,7 +109,7 @@ inline void RecordTracedRun(Fn&& fn) {
                    static_cast<double>(phase.total_ns) / 1e9);
   }
   for (const auto& [name, value] :
-       obs::MetricsRegistry::Instance().Snapshot()) {
+       obs::ProcessMetrics().Snapshot()) {
     std::string flat = name;
     std::replace(flat.begin(), flat.end(), '.', '_');
     metrics.Record("obs_" + flat, value);

@@ -219,6 +219,15 @@ std::vector<PresentedDifference> DiffAclPair(const ir::RouterConfig& config1,
 DiffReport ConfigDiff(const ir::RouterConfig& config1,
                       const ir::RouterConfig& config2,
                       const DiffOptions& options) {
+  // Scoped metrics capture: resolve the run's sink once — the caller's
+  // explicit per-request sink, or whatever is ambient on this thread —
+  // and install it here and on every pooled task below, so the capture is
+  // complete and request-private at any thread count.
+  std::optional<obs::MetricsScope> metrics_scope;
+  if (options.metrics_sink != nullptr) {
+    metrics_scope.emplace(*options.metrics_sink);
+  }
+  obs::MetricsSink* metrics_sink = &obs::CurrentMetrics();
   obs::ScopedSpan pipeline_span("config_diff",
                                 config1.hostname + " vs " + config2.hostname);
   DiffReport report;
@@ -407,6 +416,10 @@ DiffReport ConfigDiff(const ir::RouterConfig& config1,
   // report — is structurally identical at every thread count.
   std::vector<std::vector<obs::Span>> task_spans(tasks.size());
   util::RunParallel(options.num_threads, tasks.size(), [&](std::size_t i) {
+    // Pool threads have no ambient scope of their own: route this task's
+    // metrics into the run's sink (re-installing the same sink is a no-op
+    // when the task runs inline on the submitting thread).
+    obs::MetricsScope task_metrics(*metrics_sink);
     obs::TaskCapture capture;
     task_results[i] = tasks[i].run(&task_warnings[i]);
     task_spans[i] = capture.Finish();

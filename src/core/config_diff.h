@@ -17,6 +17,10 @@ namespace campion::encode {
 class EncodingTemplate;
 }  // namespace campion::encode
 
+namespace campion::obs {
+class MetricsSink;
+}  // namespace campion::obs
+
 namespace campion::core {
 
 struct DifferenceEntry {
@@ -80,6 +84,16 @@ struct DiffOptions {
   // the same canonical BDDs, the report stays byte-identical to an
   // internally built template and to no template at all.
   const encode::EncodingTemplate* external_template = nullptr;
+  // Scoped metrics capture: when set, ConfigDiff installs this sink on the
+  // calling thread AND on every worker-pool task it fans out, so the whole
+  // run's metrics land here instead of in the ambient sink
+  // (obs::CurrentMetrics()). The daemon hands each request its own sink,
+  // which is what lets requests run concurrently without interleaving
+  // their counters; when null, ConfigDiff still propagates the calling
+  // thread's current sink into its tasks, so a MetricsScope installed by
+  // the caller captures the pooled work too. Purely observability — the
+  // report is byte-identical either way.
+  obs::MetricsSink* metrics_sink = nullptr;
 };
 
 struct DiffReport {

@@ -1,7 +1,9 @@
 #pragma once
 
-// Exports a BddManager's kernel counters (bdd::BddStats) into the metrics
-// registry. Each differencing task owns its own manager; calling this once
+// Exports a BddManager's kernel counters (bdd::BddStats) into the calling
+// thread's current metrics sink (obs::CurrentMetrics() — the request's
+// capture in the daemon, the process sink in the one-shot CLI). Each
+// differencing task owns its own manager; calling this once
 // when the task finishes accumulates the kernel's work across every pair
 // of the run, so `--trace_out` / `--stats` can report unique-table and
 // ITE-cache behavior for the whole pipeline. Header-only so obs does not
@@ -15,7 +17,7 @@ namespace campion::obs {
 
 inline void RecordBddStats(const bdd::BddStats& stats) {
   if (!Enabled()) return;
-  MetricsRegistry& registry = MetricsRegistry::Instance();
+  MetricsSink& registry = CurrentMetrics();
   registry.Add("bdd.managers", 1.0);
   registry.Add("bdd.arena_nodes", static_cast<double>(stats.arena_size));
   registry.Add("bdd.unique_lookups",
@@ -59,7 +61,7 @@ inline void RecordBddStats(const bdd::BddStats& stats) {
 // deterministic for a deterministic workload at any thread count.
 inline void RecordBddMemory(const bdd::BddMemoryStats& mem) {
   if (!Enabled()) return;
-  MetricsRegistry& registry = MetricsRegistry::Instance();
+  MetricsSink& registry = CurrentMetrics();
   registry.Add("bdd.mem_bytes", static_cast<double>(mem.total_bytes));
   registry.Add("bdd.rehashes", static_cast<double>(mem.rehash_count));
   registry.Max("bdd.mem_peak_bytes", static_cast<double>(mem.total_bytes));

@@ -5,41 +5,57 @@
 #include "obs/trace.h"
 
 namespace campion::obs {
+namespace {
 
-MetricsRegistry& MetricsRegistry::Instance() {
-  static MetricsRegistry registry;
-  return registry;
-}
+// The calling thread's installed sink; null = use ProcessMetrics().
+thread_local MetricsSink* t_current_sink = nullptr;
 
-void MetricsRegistry::Add(const std::string& name, double delta) {
+}  // namespace
+
+void MetricsSink::Add(const std::string& name, double delta) {
   std::lock_guard<std::mutex> lock(mutex_);
   values_[name] += delta;
 }
 
-void MetricsRegistry::Max(const std::string& name, double value) {
+void MetricsSink::Max(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = values_.emplace(name, value);
   if (!inserted) it->second = std::max(it->second, value);
 }
 
-std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot() const {
+std::vector<std::pair<std::string, double>> MetricsSink::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return {values_.begin(), values_.end()};  // std::map is already name-sorted.
 }
 
-void MetricsRegistry::Reset() {
+void MetricsSink::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   values_.clear();
 }
 
+MetricsSink& ProcessMetrics() {
+  static MetricsSink sink;
+  return sink;
+}
+
+MetricsSink& CurrentMetrics() {
+  return t_current_sink != nullptr ? *t_current_sink : ProcessMetrics();
+}
+
+MetricsScope::MetricsScope(MetricsSink& sink) : previous_(t_current_sink) {
+  t_current_sink = &sink;
+}
+
+MetricsScope::~MetricsScope() { t_current_sink = previous_; }
+
 void Count(const std::string& name, double delta) {
   if (!Enabled()) return;
-  MetricsRegistry::Instance().Add(name, delta);
+  CurrentMetrics().Add(name, delta);
 }
 
 void MaxGauge(const std::string& name, double value) {
   if (!Enabled()) return;
-  MetricsRegistry::Instance().Max(name, value);
+  CurrentMetrics().Max(name, value);
 }
 
 }  // namespace campion::obs

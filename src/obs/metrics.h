@@ -1,10 +1,27 @@
 #pragma once
 
-// A process-wide registry of named numeric metrics, the companion to the
-// span tree in obs/trace.h. Counters accumulate deltas and watermarks keep
-// maxima — both are order-independent, so concurrent updates from the
-// worker pool produce the same snapshot regardless of scheduling, keeping
-// `--trace_out` deterministic in everything but the timing values.
+// Named numeric metrics, the companion to the span tree in obs/trace.h.
+// Counters accumulate deltas and watermarks keep maxima — both are
+// order-independent, so concurrent updates from the worker pool produce
+// the same snapshot regardless of scheduling, keeping `--trace_out`
+// deterministic in everything but the timing values.
+//
+// Capture is SCOPED, not process-global: a MetricsSink is a plain
+// container, and every recording helper routes through the calling
+// thread's *current* sink. The process keeps one default sink
+// (ProcessMetrics()) for the one-shot CLI and the bench binaries; a
+// long-lived embedder — the campion_serve daemon — instead installs a
+// private per-request sink with MetricsScope, so two requests in flight
+// on different connection threads record into disjoint arenas and never
+// serialize on (or contaminate) shared state. ConfigDiff propagates the
+// installing thread's sink into its worker-pool tasks (via
+// DiffOptions::metrics_sink), so the capture is complete at any
+// `--threads` value.
+//
+//   obs::MetricsSink sink;                // this request's arena
+//   obs::MetricsScope scope(sink);        // install on this thread
+//   ... run the pipeline ...
+//   auto snapshot = sink.Snapshot();      // only THIS request's metrics
 //
 // Updates are coarse-grained by design: the BDD kernel keeps its own plain
 // counters (bdd::BddStats) and exports them here once per differencing
@@ -25,9 +42,13 @@
 
 namespace campion::obs {
 
-class MetricsRegistry {
+// One metrics arena. The mutex covers concurrent updates from a request's
+// *internal* worker pool; distinct sinks share nothing.
+class MetricsSink {
  public:
-  static MetricsRegistry& Instance();
+  MetricsSink() = default;
+  MetricsSink(const MetricsSink&) = delete;
+  MetricsSink& operator=(const MetricsSink&) = delete;
 
   // Adds `delta` to the named counter (creating it at zero).
   void Add(const std::string& name, double delta);
@@ -40,13 +61,37 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  MetricsRegistry() = default;
-
   mutable std::mutex mutex_;
   std::map<std::string, double> values_;
 };
 
-// Convenience wrappers, gated on obs::Enabled().
+// The process-default sink: what records when no MetricsScope is
+// installed on the calling thread. The CLI and the bench binaries sample
+// and reset it between runs; the daemon never touches it.
+MetricsSink& ProcessMetrics();
+
+// The calling thread's effective sink: the innermost installed
+// MetricsScope's, falling back to ProcessMetrics().
+MetricsSink& CurrentMetrics();
+
+// RAII: installs `sink` as the calling thread's current sink, restoring
+// the previous one (possibly another scope's) on destruction. Scopes
+// nest; installation is thread-local, so concurrent scopes on different
+// threads are fully independent.
+class MetricsScope {
+ public:
+  explicit MetricsScope(MetricsSink& sink);
+  ~MetricsScope();
+
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+ private:
+  MetricsSink* previous_;
+};
+
+// Convenience wrappers, gated on obs::Enabled(); they record into
+// CurrentMetrics().
 void Count(const std::string& name, double delta = 1.0);
 void MaxGauge(const std::string& name, double value);
 

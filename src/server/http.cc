@@ -93,6 +93,35 @@ bool ParseRequestHead(const std::string& head, HttpRequest* out) {
   return true;
 }
 
+// Parses a response status line plus headers out of `head` (which runs
+// through the blank line). False on malformed input.
+bool ParseResponseHead(const std::string& head, HttpClientResponse* out) {
+  std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) return false;
+  const std::string status_line = head.substr(0, line_end);
+  if (status_line.size() < 12 || status_line.rfind("HTTP/1.", 0) != 0) {
+    return false;
+  }
+  out->status = std::atoi(status_line.substr(9, 3).c_str());
+  std::size_t pos = line_end + 2;
+  out->headers.clear();
+  while (pos < head.size()) {
+    line_end = head.find("\r\n", pos);
+    if (line_end == std::string::npos) line_end = head.size();
+    const std::string line = head.substr(pos, line_end - pos);
+    pos = line_end + 2;
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::size_t value_start = colon + 1;
+    while (value_start < line.size() && line[value_start] == ' ') {
+      ++value_start;
+    }
+    out->headers[ToLower(line.substr(0, colon))] = line.substr(value_start);
+  }
+  return true;
+}
+
 std::string RenderResponse(const HttpResponse& response, bool keep_alive) {
   std::ostringstream out;
   out << "HTTP/1.1 " << response.status << ' '
@@ -223,6 +252,7 @@ void HttpServer::AcceptLoop() {
 
 void HttpServer::ServeConnection(int fd) {
   std::string buffer;
+  bool first_request = true;
   while (!stopping_) {
     // Accumulate through the end of the header block.
     std::size_t header_end;
@@ -268,6 +298,10 @@ void HttpServer::ServeConnection(int fd) {
     }
     request.body = buffer.substr(header_end + 4, content_length);
     buffer.erase(0, header_end + 4 + content_length);
+    if (!first_request) {
+      keepalive_reuses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    first_request = false;
 
     bool keep_alive = true;
     if (auto it = request.headers.find("connection");
@@ -334,31 +368,104 @@ bool HttpFetch(const std::string& host, int port, const std::string& method,
     if (error != nullptr) *error = "truncated response";
     return false;
   }
-  const std::string head = data.substr(0, header_end + 2);
-  std::size_t line_end = head.find("\r\n");
-  const std::string status_line = head.substr(0, line_end);
-  if (status_line.size() < 12 || status_line.rfind("HTTP/1.", 0) != 0) {
+  if (!ParseResponseHead(data.substr(0, header_end + 2), out)) {
     if (error != nullptr) *error = "malformed status line";
     return false;
   }
-  out->status = std::atoi(status_line.substr(9, 3).c_str());
-  std::size_t pos = line_end + 2;
-  out->headers.clear();
-  while (pos < head.size()) {
-    line_end = head.find("\r\n", pos);
-    if (line_end == std::string::npos) line_end = head.size();
-    const std::string line = head.substr(pos, line_end - pos);
-    pos = line_end + 2;
-    if (line.empty()) break;
-    const std::size_t colon = line.find(':');
-    if (colon == std::string::npos) continue;
-    std::size_t value_start = colon + 1;
-    while (value_start < line.size() && line[value_start] == ' ') {
-      ++value_start;
-    }
-    out->headers[ToLower(line.substr(0, colon))] = line.substr(value_start);
-  }
   out->body = data.substr(header_end + 4);
+  return true;
+}
+
+HttpClientConnection::~HttpClientConnection() { Close(); }
+
+void HttpClientConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool HttpClientConnection::Connect(const std::string& host, int port,
+                                   std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "invalid host address: " + host;
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    Close();
+    return false;
+  }
+  int enable = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
+  host_ = host;
+  return true;
+}
+
+bool HttpClientConnection::Roundtrip(const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body,
+                                     HttpClientResponse* out,
+                                     std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  std::ostringstream request;
+  // No Connection header: HTTP/1.1 defaults to keep-alive, which is the
+  // whole point of this client.
+  request << method << ' ' << target << " HTTP/1.1\r\n"
+          << "Host: " << host_ << "\r\n"
+          << "Content-Length: " << body.size() << "\r\n\r\n"
+          << body;
+  if (!WriteAll(fd_, request.str())) {
+    if (error != nullptr) *error = "send failed";
+    Close();
+    return false;
+  }
+  std::size_t header_end;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (!ReadMore(fd_, buffer_, 1)) {
+      if (error != nullptr) *error = "truncated response";
+      Close();
+      return false;
+    }
+  }
+  if (!ParseResponseHead(buffer_.substr(0, header_end + 2), out)) {
+    if (error != nullptr) *error = "malformed status line";
+    Close();
+    return false;
+  }
+  std::size_t content_length = 0;
+  if (auto it = out->headers.find("content-length");
+      it != out->headers.end()) {
+    content_length = static_cast<std::size_t>(
+        std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+  const std::size_t have = buffer_.size() - (header_end + 4);
+  if (have < content_length &&
+      !ReadMore(fd_, buffer_, content_length - have)) {
+    if (error != nullptr) *error = "truncated body";
+    Close();
+    return false;
+  }
+  out->body = buffer_.substr(header_end + 4, content_length);
+  buffer_.erase(0, header_end + 4 + content_length);
+  if (auto it = out->headers.find("connection");
+      it != out->headers.end() && ToLower(it->second) == "close") {
+    Close();  // Server is done with this connection (e.g. shutdown).
+  }
   return true;
 }
 

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -83,6 +84,14 @@ class HttpServer {
   int port() const { return port_; }
   bool running() const { return running_; }
 
+  // Requests served on an already-used connection — i.e. every request
+  // after the first on each keep-alive connection. A persistent client
+  // doing R requests over one connection adds R-1. /metrics surfaces this
+  // as `server.keepalive_reuses`.
+  std::uint64_t keepalive_reuses() const {
+    return keepalive_reuses_.load(std::memory_order_relaxed);
+  }
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
@@ -96,6 +105,7 @@ class HttpServer {
   // Set before the listen fd closes; keep-alive loops check it between
   // requests so draining never waits on an idle connection's timeout.
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> keepalive_reuses_{0};
   std::thread acceptor_;
   std::unique_ptr<util::ThreadPool> workers_;
 };
@@ -111,5 +121,35 @@ struct HttpClientResponse {
 bool HttpFetch(const std::string& host, int port, const std::string& method,
                const std::string& target, const std::string& body,
                HttpClientResponse* out, std::string* error = nullptr);
+
+// Persistent keep-alive client: one TCP connection, many requests. Used by
+// the keep-alive tests and by bench_serve, where reconnect latency would
+// otherwise pollute the per-request numbers. Not thread-safe; one
+// connection per thread.
+class HttpClientConnection {
+ public:
+  HttpClientConnection() = default;
+  ~HttpClientConnection();
+
+  HttpClientConnection(const HttpClientConnection&) = delete;
+  HttpClientConnection& operator=(const HttpClientConnection&) = delete;
+
+  bool Connect(const std::string& host, int port, std::string* error = nullptr);
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends one request and reads one Content-Length framed response on the
+  // open connection. False (with `error`) on transport failures — the
+  // connection is closed and must be Connect()ed again.
+  bool Roundtrip(const std::string& method, const std::string& target,
+                 const std::string& body, HttpClientResponse* out,
+                 std::string* error = nullptr);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string host_;
+  std::string buffer_;  // Bytes read past the previous response.
+};
 
 }  // namespace campion::server

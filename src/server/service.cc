@@ -1,6 +1,8 @@
 #include "server/service.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <iomanip>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -100,6 +102,60 @@ bool IsWatermarkMetric(const std::string& name) {
          name.find("resident_bytes") != std::string::npos;
 }
 
+// Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*. The repo's
+// dotted names map by '.' -> '_' (everything else in use is already
+// legal); the exposition prefixes "campion_".
+std::string PrometheusName(const std::string& name) {
+  std::string out = "campion_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// One histogram family in Prometheus text format: cumulative _bucket
+// lines for the non-empty buckets (plus +Inf), then _sum and _count.
+// `label` is one 'key="value"' pair or empty; it rides in front of le, so
+// a grep for `_bucket{le=` selects exactly the unlabeled aggregate family.
+void AppendPrometheusHistogram(std::ostringstream& out,
+                               const std::string& name,
+                               const std::string& label,
+                               const obs::HistogramSnapshot& snapshot) {
+  const std::string le_open = label.empty() ? "{le=\"" : "{" + label + ",le=\"";
+  const std::string plain = label.empty() ? "" : "{" + label + "}";
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < obs::HistogramSnapshot::kBucketCount; ++i) {
+    const std::uint64_t bucket = snapshot.counts[static_cast<std::size_t>(i)];
+    if (bucket == 0) continue;
+    cumulative += bucket;
+    out << name << "_bucket" << le_open
+        << obs::LatencyHistogram::BucketUpperNs(i) << "\"} " << cumulative
+        << '\n';
+  }
+  out << name << "_bucket" << le_open << "+Inf\"} " << snapshot.count << '\n';
+  out << name << "_sum" << plain << ' ' << snapshot.sum_ns << '\n';
+  out << name << "_count" << plain << ' ' << snapshot.count << '\n';
+}
+
+// The plain-text quantile block for one histogram family.
+void AppendTextQuantiles(std::ostringstream& out, const std::string& prefix,
+                         const obs::HistogramSnapshot& snapshot) {
+  out << prefix << ".count " << snapshot.count << '\n';
+  out << prefix << ".mean_ns "
+      << static_cast<std::uint64_t>(snapshot.MeanNs()) << '\n';
+  out << prefix << ".p50_ns " << snapshot.QuantileNs(0.50) << '\n';
+  out << prefix << ".p95_ns " << snapshot.QuantileNs(0.95) << '\n';
+  out << prefix << ".p99_ns " << snapshot.QuantileNs(0.99) << '\n';
+}
+
+std::string KeyHashHex(std::uint64_t hash) {
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << hash;
+  return out.str();
+}
+
 }  // namespace
 
 DiffService::DiffService(ServiceOptions options)
@@ -113,9 +169,48 @@ DiffService::DiffService(ServiceOptions options)
         cache_options.max_resident_bytes = options_.gc_watermark_bytes;
         cache_options.max_entries = options_.cache_max_entries;
         return cache_options;
-      }()) {}
+      }()),
+      flight_([&] {
+        FlightRecorder::Options flight_options;
+        flight_options.entries = options_.flight_recorder_entries;
+        flight_options.span_slots = options_.flight_recorder_spans;
+        return flight_options;
+      }()) {
+  // Tracing stays on for the daemon's lifetime. Toggling it per request —
+  // what the serialized pipeline used to do — is a race once requests run
+  // concurrently, and leaving it on is free for correctness: the capture
+  // is purely observational and every response body stays CLI
+  // byte-identical (pinned by tests/server/server_test.cc).
+  obs::SetEnabled(true);
+}
 
 HttpResponse DiffService::Handle(const HttpRequest& request) {
+  const std::uint64_t start_ns = obs::NowNs();
+  HttpResponse response = Dispatch(request);
+  const std::uint64_t wall_ns = obs::NowNs() - start_ns;
+  endpoint_latency_.request.Record(wall_ns);
+  if (request.path == "/healthz") {
+    endpoint_latency_.healthz.Record(wall_ns);
+  } else if (request.path == "/metrics") {
+    endpoint_latency_.metrics.Record(wall_ns);
+  } else if (request.path == "/diff" ||
+             (request.path.rfind("/sessions/", 0) == 0 &&
+              request.path.size() >= 5 &&
+              request.path.compare(request.path.size() - 5, 5, "/diff") ==
+                  0)) {
+    endpoint_latency_.diff.Record(wall_ns);
+  } else if (request.path == "/sessions" ||
+             request.path.rfind("/sessions/", 0) == 0) {
+    endpoint_latency_.sessions.Record(wall_ns);
+  } else if (request.path.rfind("/debug/", 0) == 0) {
+    endpoint_latency_.debug.Record(wall_ns);
+  } else {
+    endpoint_latency_.other.Record(wall_ns);
+  }
+  return response;
+}
+
+HttpResponse DiffService::Dispatch(const HttpRequest& request) {
   BumpCounter("server.requests_total");
   if (request.path == "/healthz") {
     if (request.method != "GET") return JsonError(405, "use GET");
@@ -125,7 +220,7 @@ HttpResponse DiffService::Handle(const HttpRequest& request) {
   }
   if (request.path == "/metrics") {
     if (request.method != "GET") return JsonError(405, "use GET");
-    return HandleMetrics();
+    return HandleMetrics(request);
   }
   if (request.path == "/diff") {
     if (request.method != "POST") return JsonError(405, "use POST");
@@ -133,6 +228,9 @@ HttpResponse DiffService::Handle(const HttpRequest& request) {
   }
   if (request.path == "/sessions" || request.path.rfind("/sessions/", 0) == 0) {
     return HandleSessions(request);
+  }
+  if (request.path.rfind("/debug/", 0) == 0) {
+    return HandleDebug(request);
   }
   BumpCounter("server.errors");
   return JsonError(404, "unknown endpoint " + request.path);
@@ -188,66 +286,96 @@ HttpResponse DiffService::HandleDiff(const HttpRequest& request) {
     want_obs = v->boolean;
   }
   BumpCounter("server.diff_requests");
-  return RunDiff(config1->string, vendor1, config2->string, vendor2,
+  return RunDiff("/diff", config1->string, vendor1, config2->string, vendor2,
                  diff_options, json_format, want_obs);
 }
 
-HttpResponse DiffService::RunDiff(const std::string& text1,
+HttpResponse DiffService::RunDiff(const std::string& endpoint,
+                                  const std::string& text1,
                                   const std::string& vendor1,
                                   const std::string& text2,
                                   const std::string& vendor2,
                                   const core::DiffOptions& options,
                                   bool json_format, bool want_obs) {
-  // One request at a time through the pipeline: the obs registry is
-  // process-global, so this is what makes the capture below attributable
-  // to THIS request (see the header's concurrency-model note).
-  std::lock_guard<std::mutex> pipeline(pipeline_mutex_);
-  const bool obs_was_enabled = obs::Enabled();
-  obs::SetEnabled(true);
-  obs::MetricsRegistry::Instance().Reset();
+  // Request-private capture: this sink collects every metric the request
+  // produces — on this thread via the scope below, and on ConfigDiff's
+  // pooled pair tasks via DiffOptions::metrics_sink. No cross-request
+  // lock; concurrent requests each fold their own snapshot at the end.
+  obs::MetricsSink sink;
+  obs::MetricsScope metrics_scope(sink);
   obs::ResetThreadTrace();
+
+  FlightRecord record;
+  record.endpoint = endpoint;
+  record.cache = "off";
+  const std::uint64_t wall_start = obs::NowNs();
+  auto finish = [&](HttpResponse response) {
+    record.status = response.status;
+    record.wall_ns = obs::NowNs() - wall_start;
+    phase_latency_.parse.Record(record.parse_ns);
+    if (record.template_ns > 0) {
+      phase_latency_.template_fetch.Record(record.template_ns);
+    }
+    if (record.diff_ns > 0) phase_latency_.diff.Record(record.diff_ns);
+    if (record.render_ns > 0) phase_latency_.render.Record(record.render_ns);
+    if (options_.flight_recorder) flight_.Record(std::move(record));
+    return response;
+  };
 
   frontend::LoadResult loaded1;
   frontend::LoadResult loaded2;
+  const std::uint64_t parse_start = obs::NowNs();
   try {
     loaded1 = frontend::LoadConfig(text1, "config1", ParseVendor(vendor1));
     loaded2 = frontend::LoadConfig(text2, "config2", ParseVendor(vendor2));
   } catch (const std::exception& error) {
-    obs::SetEnabled(obs_was_enabled);
+    record.parse_ns = obs::NowNs() - parse_start;
     BumpCounter("server.errors");
     BumpCounter("server.parse_failures");
-    return JsonError(422, error.what());
+    return finish(JsonError(422, error.what()));
   }
+  record.parse_ns = obs::NowNs() - parse_start;
 
   core::DiffOptions diff_options = options;
+  diff_options.metrics_sink = &sink;
   std::shared_ptr<const encode::EncodingTemplate> tmpl;
   bool cache_hit = false;
   const bool cache_eligible =
       options_.cache && diff_options.use_encoding_template &&
       (diff_options.check_route_maps || diff_options.check_acls);
   if (cache_eligible) {
-    tmpl = cache_.Get(loaded1.config, loaded2.config, &cache_hit);
+    const std::uint64_t template_start = obs::NowNs();
+    std::uint64_t key_hash = 0;
+    tmpl = cache_.Get(loaded1.config, loaded2.config, &cache_hit, &key_hash);
     diff_options.external_template = tmpl.get();
+    record.template_ns = obs::NowNs() - template_start;
+    record.template_key_hash = key_hash;
+    record.cache = cache_hit ? "hit" : "miss";
   }
 
   core::DiffReport report;
+  const std::uint64_t diff_start = obs::NowNs();
   try {
     report = core::ConfigDiff(loaded1.config, loaded2.config, diff_options);
   } catch (const std::exception& error) {
-    obs::SetEnabled(obs_was_enabled);
+    record.diff_ns = obs::NowNs() - diff_start;
     BumpCounter("server.errors");
-    return JsonError(500, error.what());
+    return finish(JsonError(500, error.what()));
   }
+  record.diff_ns = obs::NowNs() - diff_start;
 
   std::vector<obs::Span> spans = obs::TakeThreadSpans();
-  auto metrics = obs::MetricsRegistry::Instance().Snapshot();
-  obs::SetEnabled(obs_was_enabled);
+  auto metrics = sink.Snapshot();
   FoldMetrics(metrics);
 
+  const std::uint64_t render_start = obs::NowNs();
   const std::string report_body =
       json_format ? core::ReportToJson(report, loaded1.config.hostname,
                                        loaded2.config.hostname)
                   : report.Render();
+  record.render_ns = obs::NowNs() - render_start;
+  record.equivalent = report.Equivalent();
+  record.differences = report.entries.size();
 
   HttpResponse response;
   response.headers.emplace_back("X-Campion-Equivalent",
@@ -271,15 +399,36 @@ HttpResponse DiffService::RunDiff(const std::string& text1,
     out << ",\"equivalent\":" << (report.Equivalent() ? "true" : "false");
     out << ",\"obs\":" << obs::TraceToJson(spans, metrics) << "}\n";
     response.body = out.str();
+  } else {
+    response.content_type =
+        json_format ? "application/json" : "text/plain; charset=utf-8";
+    response.body = report_body;
+  }
+  // Hand the trace to the recorder last: it sheds the spans again unless
+  // this request ranks among the slowest K in the ring.
+  record.spans = std::move(spans);
+  record.metrics = std::move(metrics);
+  return finish(std::move(response));
+}
+
+HttpResponse DiffService::HandleMetrics(const HttpRequest& request) {
+  const std::string format = request.QueryParam("format", "text");
+  if (format == "prometheus") {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderMetricsPrometheus();
     return response;
   }
-  response.content_type =
-      json_format ? "application/json" : "text/plain; charset=utf-8";
-  response.body = report_body;
+  if (format != "text") {
+    BumpCounter("server.errors");
+    return JsonError(400, "format must be text or prometheus");
+  }
+  HttpResponse response;
+  response.body = RenderMetricsText();
   return response;
 }
 
-HttpResponse DiffService::HandleMetrics() {
+std::string DiffService::RenderMetricsText() {
   std::ostringstream out;
   {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
@@ -287,6 +436,23 @@ HttpResponse DiffService::HandleMetrics() {
       out << name << ' ' << util::JsonNumber(value) << '\n';
     }
   }
+  out << "server.keepalive_reuses "
+      << (keepalive_reuses_ ? keepalive_reuses_() : 0) << '\n';
+  // Latency quantiles from the endpoint and phase histograms. Bounds are
+  // inclusive bucket upper bounds (within 25% of the true rank value; see
+  // obs/histogram.h).
+  AppendTextQuantiles(out, "server.latency.diff",
+                      endpoint_latency_.diff.Snapshot());
+  AppendTextQuantiles(out, "server.latency.request",
+                      endpoint_latency_.request.Snapshot());
+  AppendTextQuantiles(out, "server.phase.diff",
+                      phase_latency_.diff.Snapshot());
+  AppendTextQuantiles(out, "server.phase.parse",
+                      phase_latency_.parse.Snapshot());
+  AppendTextQuantiles(out, "server.phase.render",
+                      phase_latency_.render.Snapshot());
+  AppendTextQuantiles(out, "server.phase.template",
+                      phase_latency_.template_fetch.Snapshot());
   const TemplateCache::Stats cache = cache_.GetStats();
   out << "server.template_cache_entries " << cache.entries << '\n';
   out << "server.template_cache_evictions " << cache.evictions << '\n';
@@ -302,9 +468,140 @@ HttpResponse DiffService::HandleMetrics() {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
     out << "server.sessions " << sessions_.size() << '\n';
   }
-  HttpResponse response;
-  response.body = out.str();
-  return response;
+  return out.str();
+}
+
+std::string DiffService::RenderMetricsPrometheus() {
+  std::ostringstream out;
+  // Folded request metrics and server counters: watermark-style names are
+  // gauges, everything else counts monotonically.
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    for (const auto& [name, value] : cumulative_) {
+      const std::string prom = PrometheusName(name);
+      out << "# TYPE " << prom
+          << (IsWatermarkMetric(name) ? " gauge" : " counter") << '\n';
+      out << prom << ' ' << util::JsonNumber(value) << '\n';
+    }
+  }
+  const std::uint64_t reuses = keepalive_reuses_ ? keepalive_reuses_() : 0;
+  out << "# TYPE campion_server_keepalive_reuses counter\n";
+  out << "campion_server_keepalive_reuses " << reuses << '\n';
+  const TemplateCache::Stats cache = cache_.GetStats();
+  const auto counter = [&](const char* name, std::uint64_t value) {
+    out << "# TYPE " << name << " counter\n" << name << ' ' << value << '\n';
+  };
+  const auto gauge = [&](const char* name, std::uint64_t value) {
+    out << "# TYPE " << name << " gauge\n" << name << ' ' << value << '\n';
+  };
+  counter("campion_server_template_cache_hits", cache.hits);
+  counter("campion_server_template_cache_misses", cache.misses);
+  counter("campion_server_template_cache_evictions", cache.evictions);
+  gauge("campion_server_template_cache_entries", cache.entries);
+  gauge("campion_server_template_cache_resident_bytes", cache.resident_bytes);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    gauge("campion_server_sessions", sessions_.size());
+  }
+  // Histograms. The unlabeled aggregate family comes first; the labeled
+  // per-endpoint and per-phase families share one # TYPE line each.
+  out << "# TYPE campion_request_duration_ns histogram\n";
+  AppendPrometheusHistogram(out, "campion_request_duration_ns", "",
+                            endpoint_latency_.request.Snapshot());
+  out << "# TYPE campion_endpoint_duration_ns histogram\n";
+  const std::pair<const char*, const obs::LatencyHistogram*> endpoints[] = {
+      {"healthz", &endpoint_latency_.healthz},
+      {"metrics", &endpoint_latency_.metrics},
+      {"diff", &endpoint_latency_.diff},
+      {"sessions", &endpoint_latency_.sessions},
+      {"debug", &endpoint_latency_.debug},
+      {"other", &endpoint_latency_.other},
+  };
+  for (const auto& [name, histogram] : endpoints) {
+    AppendPrometheusHistogram(
+        out, "campion_endpoint_duration_ns",
+        std::string("endpoint=\"") + name + "\"", histogram->Snapshot());
+  }
+  out << "# TYPE campion_phase_duration_ns histogram\n";
+  const std::pair<const char*, const obs::LatencyHistogram*> phases[] = {
+      {"parse", &phase_latency_.parse},
+      {"template", &phase_latency_.template_fetch},
+      {"diff", &phase_latency_.diff},
+      {"render", &phase_latency_.render},
+  };
+  for (const auto& [name, histogram] : phases) {
+    AppendPrometheusHistogram(out, "campion_phase_duration_ns",
+                              std::string("phase=\"") + name + "\"",
+                              histogram->Snapshot());
+  }
+  return out.str();
+}
+
+HttpResponse DiffService::HandleDebug(const HttpRequest& request) {
+  if (request.method != "GET") return JsonError(405, "use GET");
+  BumpCounter("server.debug_requests");
+  if (request.path == "/debug/requests" ||
+      request.path.rfind("/debug/requests/", 0) == 0) {
+    if (!options_.flight_recorder) {
+      BumpCounter("server.errors");
+      return JsonError(404, "flight recorder is disabled");
+    }
+    if (request.path == "/debug/requests") {
+      return JsonOk(flight_.ListJson());
+    }
+    const std::string id_text =
+        request.path.substr(std::string("/debug/requests/").size());
+    char* end = nullptr;
+    const std::uint64_t id = std::strtoull(id_text.c_str(), &end, 10);
+    if (id_text.empty() || end == nullptr || *end != '\0') {
+      BumpCounter("server.errors");
+      return JsonError(400, "request id must be a decimal integer");
+    }
+    std::string body;
+    if (!flight_.EntryJson(id, &body)) {
+      BumpCounter("server.errors");
+      return JsonError(404, "no request " + id_text + " in the ring");
+    }
+    return JsonOk(body);
+  }
+  if (request.path == "/debug/cache") {
+    std::ostringstream out;
+    const TemplateCache::Stats stats = cache_.GetStats();
+    out << "{\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
+        << ",\"evictions\":" << stats.evictions
+        << ",\"resident_bytes\":" << stats.resident_bytes << ",\"entries\":[";
+    bool first = true;
+    for (const TemplateCache::EntryInfo& info : cache_.EntryInfos()) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"key\":\"" << KeyHashHex(info.key_hash)
+          << "\",\"resident_bytes\":" << info.resident_bytes
+          << ",\"hits\":" << info.hits << ",\"build_seq\":" << info.build_seq
+          << '}';
+    }
+    out << "]}\n";
+    return JsonOk(out.str());
+  }
+  if (request.path == "/debug/sessions") {
+    std::ostringstream out;
+    out << "{\"sessions\":[";
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    bool first = true;
+    for (const auto& [name, session] : sessions_) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"name\":\"" << util::JsonEscape(name)
+          << "\",\"running_bytes\":" << session.running.size()
+          << ",\"running_vendor\":\"" << util::JsonEscape(session.running_vendor)
+          << "\",\"candidate_bytes\":" << session.candidate.size()
+          << ",\"candidate_vendor\":\""
+          << util::JsonEscape(session.candidate_vendor) << "\"}";
+    }
+    out << "]}\n";
+    return JsonOk(out.str());
+  }
+  BumpCounter("server.errors");
+  return JsonError(404, "unknown endpoint " + request.path);
 }
 
 HttpResponse DiffService::HandleSessions(const HttpRequest& request) {
@@ -408,8 +705,8 @@ HttpResponse DiffService::HandleSessions(const HttpRequest& request) {
       }
     }
     BumpCounter("server.diff_requests");
-    return RunDiff(running, running_vendor, candidate, candidate_vendor,
-                   diff_options, format == "json",
+    return RunDiff(request.path, running, running_vendor, candidate,
+                   candidate_vendor, diff_options, format == "json",
                    request.QueryParam("obs") == "1");
   }
 

@@ -6,6 +6,7 @@
 // Endpoints:
 //   GET  /healthz                       liveness probe
 //   GET  /metrics                       cumulative daemon metrics, text
+//                                       (?format=prometheus for scrapers)
 //   POST /diff                          one-shot comparison (JSON body)
 //   GET  /sessions                      list sessions (JSON)
 //   PUT  /sessions/<name>/running       upload the running config (raw text)
@@ -15,6 +16,10 @@
 //   POST /sessions/<name>/commit        promote candidate to running
 //   POST /sessions/<name>/rollback      discard the candidate
 //   DELETE /sessions/<name>             drop the session
+//   GET  /debug/requests                flight recorder: last-N summaries
+//   GET  /debug/requests/<id>           one entry, with trace when retained
+//   GET  /debug/cache                   per-entry template-cache view
+//   GET  /debug/sessions                session detail (sizes, vendors)
 //
 // Determinism contract: a /diff (or session diff) response body is the
 // EXACT byte sequence the one-shot CLI writes to stdout for the same two
@@ -24,18 +29,20 @@
 // (`"obs": true` / `?obs=1`) is the one deliberate exception: it wraps the
 // report in JSON together with the request's span tree and metrics.
 //
-// Concurrency model: connection workers parse HTTP in parallel, but the
-// diff pipeline itself is serialized through one mutex. That is not a
-// cop-out — it is what makes per-request observability sound: the obs
-// metrics registry is process-global, so the service resets it, runs the
-// request (which still fans out over `--threads` workers *inside*
-// ConfigDiff), snapshots, and folds the snapshot into the daemon's
-// cumulative metrics. Parallelism across requests would interleave two
-// requests' counters with no way to separate them. Throughput comes from
-// within-request threading and the cross-request template cache, not from
-// overlapping pipelines.
+// Concurrency model: requests run the full parse→template→diff→render
+// pipeline CONCURRENTLY, one per connection worker, each still fanning out
+// over `--threads` workers inside ConfigDiff. What makes that sound is
+// scoped observability capture: every request records into its own
+// obs::MetricsSink (threaded through DiffOptions::metrics_sink so the
+// pooled pair tasks land there too) and its own thread-local span buffer,
+// and the service folds the private snapshot into the daemon cumulative
+// map only at request completion. The only cross-request serialization
+// left is the template cache's build lock, which exists to deduplicate
+// simultaneous misses on one key, not to order requests.
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -43,6 +50,8 @@
 
 #include "core/config_diff.h"
 #include "ir/config.h"
+#include "obs/histogram.h"
+#include "server/flight_recorder.h"
 #include "server/http.h"
 #include "server/template_cache.h"
 
@@ -61,6 +70,13 @@ struct ServiceOptions {
   bool gc = true;
   std::size_t gc_watermark_bytes = 256 * 1024 * 1024;
   std::size_t cache_max_entries = 0;  // 0 = unlimited.
+  // Flight recorder (src/server/flight_recorder.h): ring of the last
+  // `flight_recorder_entries` diff executions, span trees retained for the
+  // `flight_recorder_spans` slowest. Off = record nothing (/debug/requests
+  // answers 404; the bench A/B pins the overhead of "on").
+  bool flight_recorder = true;
+  std::size_t flight_recorder_entries = 64;
+  std::size_t flight_recorder_spans = 8;
 };
 
 class DiffService {
@@ -71,6 +87,15 @@ class DiffService {
   HttpResponse Handle(const HttpRequest& request);
 
   TemplateCache::Stats CacheStats() const { return cache_.GetStats(); }
+  const FlightRecorder& Recorder() const { return flight_; }
+
+  // Wires the transport's keep-alive reuse counter into /metrics
+  // (`server.keepalive_reuses`). The service cannot own the HttpServer —
+  // the server owns the handler that calls the service — so the binary
+  // connects them after both exist. Unset reads as 0.
+  void SetKeepaliveReuses(std::function<std::uint64_t()> fn) {
+    keepalive_reuses_ = std::move(fn);
+  }
 
  private:
   struct Session {
@@ -83,17 +108,44 @@ class DiffService {
     std::string candidate_vendor = "auto";
   };
 
-  HttpResponse HandleDiff(const HttpRequest& request);
-  HttpResponse HandleMetrics();
-  HttpResponse HandleSessions(const HttpRequest& request);
+  // Per-endpoint wall-time histograms plus one aggregate, all recorded in
+  // Handle. The set is fixed so the record path is a lock-free array
+  // update — no map lookups or allocation while requests are in flight.
+  struct EndpointLatency {
+    obs::LatencyHistogram request;   // Every request, any endpoint.
+    obs::LatencyHistogram healthz;
+    obs::LatencyHistogram metrics;
+    obs::LatencyHistogram diff;      // POST /diff and session diffs.
+    obs::LatencyHistogram sessions;  // Session CRUD (non-diff verbs).
+    obs::LatencyHistogram debug;
+    obs::LatencyHistogram other;     // 404s and anything unclassified.
+  };
+  // Pipeline-phase histograms, recorded per diff execution in RunDiff.
+  struct PhaseLatency {
+    obs::LatencyHistogram parse;
+    obs::LatencyHistogram template_fetch;  // Cache Get (build on a miss).
+    obs::LatencyHistogram diff;
+    obs::LatencyHistogram render;
+  };
 
-  // Parses, diffs, and renders one comparison under the pipeline mutex,
-  // capturing the request's spans and metrics. Returns the full response
-  // (including error responses for unparseable configs).
-  HttpResponse RunDiff(const std::string& text1, const std::string& vendor1,
-                       const std::string& text2, const std::string& vendor2,
+  HttpResponse Dispatch(const HttpRequest& request);
+  HttpResponse HandleDiff(const HttpRequest& request);
+  HttpResponse HandleMetrics(const HttpRequest& request);
+  HttpResponse HandleSessions(const HttpRequest& request);
+  HttpResponse HandleDebug(const HttpRequest& request);
+
+  // Parses, diffs, and renders one comparison with request-private
+  // observability capture (no cross-request lock). Returns the full
+  // response (including error responses for unparseable configs) and
+  // leaves one flight-recorder entry behind when the recorder is on.
+  HttpResponse RunDiff(const std::string& endpoint, const std::string& text1,
+                       const std::string& vendor1, const std::string& text2,
+                       const std::string& vendor2,
                        const core::DiffOptions& options, bool json_format,
                        bool want_obs);
+
+  std::string RenderMetricsText();
+  std::string RenderMetricsPrometheus();
 
   void FoldMetrics(
       const std::vector<std::pair<std::string, double>>& snapshot);
@@ -101,16 +153,17 @@ class DiffService {
 
   ServiceOptions options_;
   TemplateCache cache_;
-
-  // Serializes the parse→template→diff→render pipeline (see header
-  // comment). Never held while blocking on client I/O.
-  std::mutex pipeline_mutex_;
+  FlightRecorder flight_;
+  EndpointLatency endpoint_latency_;
+  PhaseLatency phase_latency_;
+  std::function<std::uint64_t()> keepalive_reuses_;
 
   std::mutex sessions_mutex_;
   std::map<std::string, Session> sessions_;
 
   // Daemon-cumulative metrics (server.* counters plus every obs metric the
-  // requests produced, summed). /metrics renders this map.
+  // requests produced, summed — watermark-style names keep their max).
+  // /metrics renders this map.
   mutable std::mutex metrics_mutex_;
   std::map<std::string, double> cumulative_;
 };

@@ -8,6 +8,7 @@
 #include "bdd/bdd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/hash.h"
 
 namespace campion::server {
 
@@ -86,8 +87,10 @@ std::size_t TemplateCache::ResidentBytes(
 
 std::shared_ptr<const encode::EncodingTemplate> TemplateCache::Get(
     const ir::RouterConfig& config1, const ir::RouterConfig& config2,
-    bool* cache_hit) {
+    bool* cache_hit, std::uint64_t* key_hash) {
   const std::string key = TemplateCacheKey(config1, config2);
+  const std::uint64_t digest = util::Fnv1a64(key);
+  if (key_hash != nullptr) *key_hash = digest;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
@@ -96,15 +99,16 @@ std::shared_ptr<const encode::EncodingTemplate> TemplateCache::Get(
       lru_.push_front(key);
       it->second.lru_position = lru_.begin();
       ++stats_.hits;
+      ++it->second.hits;
       if (cache_hit != nullptr) *cache_hit = true;
       obs::Count("encode.template_cache_hit");
       return it->second.tmpl;
     }
   }
-  // Build outside the lock's critical path conceptually, but requests are
-  // serialized through the service's pipeline mutex anyway, and a single
-  // build lock keeps two concurrent misses on one key from duplicating the
-  // most expensive operation the daemon performs.
+  // One build lock for all misses: requests run the pipeline concurrently
+  // (each with its own metrics sink), so two simultaneous misses on the
+  // same key are a real possibility — serializing the build keeps them from
+  // duplicating the most expensive operation the daemon performs.
   std::lock_guard<std::mutex> lock(mutex_);
   if (auto it = entries_.find(key); it != entries_.end()) {
     // Lost a race between the two lock scopes.
@@ -112,6 +116,7 @@ std::shared_ptr<const encode::EncodingTemplate> TemplateCache::Get(
     lru_.push_front(key);
     it->second.lru_position = lru_.begin();
     ++stats_.hits;
+    ++it->second.hits;
     if (cache_hit != nullptr) *cache_hit = true;
     obs::Count("encode.template_cache_hit");
     return it->second.tmpl;
@@ -148,6 +153,8 @@ std::shared_ptr<const encode::EncodingTemplate> TemplateCache::Get(
   Entry entry;
   entry.tmpl = tmpl;
   entry.resident_bytes = ResidentBytes(*tmpl);
+  entry.key_hash = digest;
+  entry.build_seq = ++build_counter_;
   lru_.push_front(key);
   entry.lru_position = lru_.begin();
   stats_.resident_bytes += entry.resident_bytes;
@@ -184,6 +191,22 @@ void TemplateCache::EvictIfNeeded() {
 TemplateCache::Stats TemplateCache::GetStats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+std::vector<TemplateCache::EntryInfo> TemplateCache::EntryInfos() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EntryInfo> infos;
+  infos.reserve(entries_.size());
+  for (const std::string& key : lru_) {  // MRU first.
+    auto it = entries_.find(key);
+    EntryInfo info;
+    info.key_hash = it->second.key_hash;
+    info.resident_bytes = it->second.resident_bytes;
+    info.hits = it->second.hits;
+    info.build_seq = it->second.build_seq;
+    infos.push_back(info);
+  }
+  return infos;
 }
 
 void TemplateCache::Clear() {

@@ -43,6 +43,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/config_diff.h"
 #include "encode/encoding_template.h"
@@ -93,16 +94,30 @@ class TemplateCache {
   explicit TemplateCache(Options options) : options_(options) {}
 
   // Returns the cached template for this pair's key, building it on a
-  // miss. `cache_hit`, when non-null, reports which happened. The returned
+  // miss. `cache_hit`, when non-null, reports which happened; `key_hash`,
+  // when non-null, receives the FNV-1a digest of the canonical key (the
+  // same digest /debug/cache and the flight recorder expose). The returned
   // pointer keeps the template alive even if eviction drops the entry
   // mid-request. Also records per-request metrics
   // (encode.template_cache_hit / _miss, and on a miss the build/sift/gc
   // spans) into the ambient obs context when tracing is enabled.
   std::shared_ptr<const encode::EncodingTemplate> Get(
       const ir::RouterConfig& config1, const ir::RouterConfig& config2,
-      bool* cache_hit = nullptr);
+      bool* cache_hit = nullptr, std::uint64_t* key_hash = nullptr);
 
   Stats GetStats() const;
+
+  // Per-entry debug view for `GET /debug/cache`: one row per resident
+  // template, most-recently-used first.
+  struct EntryInfo {
+    std::uint64_t key_hash = 0;     // FNV-1a digest of the canonical key.
+    std::size_t resident_bytes = 0;
+    std::uint64_t hits = 0;         // Lookups served by this entry.
+    std::uint64_t build_seq = 0;    // Monotone build counter (1 = oldest
+                                    // build since daemon start) — a clock-
+                                    // free stand-in for age.
+  };
+  std::vector<EntryInfo> EntryInfos() const;
 
   // Drops every entry (templates survive while requests hold them).
   void Clear();
@@ -111,6 +126,9 @@ class TemplateCache {
   struct Entry {
     std::shared_ptr<const encode::EncodingTemplate> tmpl;
     std::size_t resident_bytes = 0;
+    std::uint64_t key_hash = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t build_seq = 0;
     std::list<std::string>::iterator lru_position;
   };
 
@@ -123,6 +141,7 @@ class TemplateCache {
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // Front = most recently used.
   Stats stats_;
+  std::uint64_t build_counter_ = 0;
 };
 
 }  // namespace campion::server

@@ -343,7 +343,7 @@ bool ParseArgs(int argc, char** argv, Options* options, int* exit_code) {
 bool EmitObservability(const Options& options) {
   if (!campion::obs::Enabled()) return true;
   std::vector<campion::obs::Span> spans = campion::obs::TakeThreadSpans();
-  auto metrics = campion::obs::MetricsRegistry::Instance().Snapshot();
+  auto metrics = campion::obs::ProcessMetrics().Snapshot();
   if (options.stats) {
     std::cerr << campion::obs::RenderStatsSummary(spans, metrics);
   }

@@ -23,6 +23,10 @@
 //                            (default on).
 //   --gc_watermark_mb=N      Resident template bytes before LRU eviction
 //                            (default 256).
+//   --flight_recorder=on|off Per-request flight recorder behind
+//                            /debug/requests (default on).
+//   --flight_recorder_entries=N  Ring capacity: last N diff executions
+//                            (default 64).
 //   --help                   Print usage and exit 0.
 //
 // Shutdown: SIGTERM or SIGINT stops accepting, drains in-flight requests,
@@ -81,6 +85,13 @@ void PrintUsage(std::ostream& out) {
          "  --gc_watermark_mb=N\n"
          "                  resident template bytes before least-recently-\n"
          "                  used cache eviction (default 256)\n"
+         "  --flight_recorder=on|off\n"
+         "                  record the last N diff executions (wall time,\n"
+         "                  phase breakdown, cache disposition) for\n"
+         "                  GET /debug/requests, span trees retained for\n"
+         "                  the slowest 8 (default on)\n"
+         "  --flight_recorder_entries=N\n"
+         "                  flight-recorder ring capacity (default 64)\n"
          "  --help          print this message and exit 0\n"
          "exit status: 0 clean shutdown, 1 error\n";
 }
@@ -201,6 +212,19 @@ bool ParseArgs(int argc, char** argv, Options* options, int* exit_code) {
         return false;
       }
       options->service.gc_watermark_bytes = number * 1024 * 1024;
+    } else if (arg.rfind("--flight_recorder=", 0) == 0) {
+      if (!ParseOnOff(value_of("--flight_recorder="), "--flight_recorder",
+                      &options->service.flight_recorder)) {
+        return false;
+      }
+    } else if (arg.rfind("--flight_recorder_entries=", 0) == 0) {
+      if (!ParseUnsigned(value_of("--flight_recorder_entries="),
+                         "--flight_recorder_entries", &number) ||
+          number == 0) {
+        std::cerr << "error: --flight_recorder_entries must be >= 1\n";
+        return false;
+      }
+      options->service.flight_recorder_entries = number;
     } else {
       std::cerr << "error: unknown option '" << arg << "'\n";
       return false;
@@ -243,6 +267,7 @@ int main(int argc, char** argv) {
         return service.Handle(request);
       },
       options.http_threads);
+  service.SetKeepaliveReuses([&server] { return server.keepalive_reuses(); });
   std::string error;
   if (!server.Start(&error)) {
     std::cerr << "error: cannot listen on " << options.bind << ":"

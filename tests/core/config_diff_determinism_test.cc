@@ -83,7 +83,7 @@ TEST(ConfigDiffDeterminismTest, TracingAndMemoryAccountingAreInvisible) {
       RenderAll(scenario.core.config1, scenario.core.config2, 8);
   obs::SetEnabled(false);
   obs::ResetThreadTrace();
-  obs::MetricsRegistry::Instance().Reset();
+  obs::ProcessMetrics().Reset();
   EXPECT_EQ(plain, traced_serial);
   EXPECT_EQ(plain, traced_parallel);
 }

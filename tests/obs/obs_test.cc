@@ -24,12 +24,12 @@ class ObsTest : public ::testing::Test {
   void SetUp() override {
     SetEnabled(false);
     ResetThreadTrace();
-    MetricsRegistry::Instance().Reset();
+    ProcessMetrics().Reset();
   }
   void TearDown() override {
     SetEnabled(false);
     ResetThreadTrace();
-    MetricsRegistry::Instance().Reset();
+    ProcessMetrics().Reset();
   }
 };
 
@@ -43,7 +43,7 @@ TEST_F(ObsTest, DisabledModeRecordsNothing) {
     MaxGauge("some.watermark", 7.0);
   }
   EXPECT_TRUE(TakeThreadSpans().empty());
-  EXPECT_TRUE(MetricsRegistry::Instance().Snapshot().empty());
+  EXPECT_TRUE(ProcessMetrics().Snapshot().empty());
 }
 
 TEST_F(ObsTest, SpansNestAndCarryAttrs) {
@@ -95,7 +95,7 @@ TEST_F(ObsTest, ConcurrentCounterUpdatesFromPool) {
     for (int j = 0; j < 100; ++j) Count("test.adds");
     MaxGauge("test.watermark", static_cast<double>(i));
   });
-  auto snapshot = MetricsRegistry::Instance().Snapshot();
+  auto snapshot = ProcessMetrics().Snapshot();
   ASSERT_EQ(snapshot.size(), 2u);
   EXPECT_EQ(snapshot[0].first, "test.adds");
   EXPECT_EQ(snapshot[0].second, kTasks * 100.0);
@@ -160,7 +160,7 @@ TEST_F(ObsTest, TraceJsonContainsVersionSpansAndMetrics) {
   }
   Count("parse.files");
   std::string json = TraceToJson(TakeThreadSpans(),
-                                 MetricsRegistry::Instance().Snapshot());
+                                 ProcessMetrics().Snapshot());
   EXPECT_NE(json.find("\"campion_trace_version\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"parse\""), std::string::npos);
   // Quotes in the detail are escaped.
@@ -183,7 +183,7 @@ TEST_F(ObsTest, ChromeJsonMapsWorkerSpansToSyntheticLanes) {
   }
   Count("bdd.unique_lookups", 5.0);
   std::string json = TraceToChromeJson(TakeThreadSpans(),
-                                       MetricsRegistry::Instance().Snapshot());
+                                       ProcessMetrics().Snapshot());
   // Complete events only, with the metadata naming the synthetic lanes.
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
@@ -204,7 +204,7 @@ TEST_F(ObsTest, ChromeJsonMapsWorkerSpansToSyntheticLanes) {
 TEST_F(ObsTest, ChromeJsonWithNoSpansIsStillWellFormed) {
   SetEnabled(true);
   std::string json =
-      TraceToChromeJson({}, MetricsRegistry::Instance().Snapshot());
+      TraceToChromeJson({}, ProcessMetrics().Snapshot());
   // The metadata lines must not leave a dangling comma before the close.
   EXPECT_EQ(json.find(",\n  ]"), std::string::npos);
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
@@ -216,7 +216,7 @@ TEST_F(ObsTest, StatsSummaryRendersTables) {
   Count("bdd.cache_lookups", 10.0);
   Count("bdd.cache_hits", 4.0);
   std::string stats = RenderStatsSummary(TakeThreadSpans(),
-                                         MetricsRegistry::Instance().Snapshot());
+                                         ProcessMetrics().Snapshot());
   EXPECT_NE(stats.find("Phase"), std::string::npos);
   EXPECT_NE(stats.find("parse"), std::string::npos);
   EXPECT_NE(stats.find("bdd.cache_hit_rate"), std::string::npos);

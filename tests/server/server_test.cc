@@ -12,10 +12,14 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "server/http.h"
 #include "server/service.h"
@@ -76,6 +80,10 @@ class ServerTest : public ::testing::Test {
         /*num_workers=*/2);
     std::string error;
     ASSERT_TRUE(server_->Start(&error)) << error;
+    // The same wiring campion_serve_main does: /metrics reads the
+    // transport's keep-alive reuse counter through the service.
+    service_->SetKeepaliveReuses(
+        [this] { return server_->keepalive_reuses(); });
   }
 
   void TearDown() override {
@@ -291,6 +299,270 @@ TEST_F(ServerTest, ObsEnvelopeCarriesSpansAndMetrics) {
   ASSERT_TRUE(obs != nullptr);
   EXPECT_TRUE(obs->Find("spans") != nullptr);
   EXPECT_TRUE(obs->Find("metrics") != nullptr);
+}
+
+// The concurrency tentpole: with the pipeline no longer serialized,
+// simultaneous /diff requests must still each return the exact CLI bytes —
+// scoped metrics capture is what keeps concurrent requests from perturbing
+// each other (or the report).
+TEST_F(ServerCliParityTest, ConcurrentDiffRequestsMatchCliByteParity) {
+  ServiceOptions options;
+  options.diff.num_threads = 2;  // Fan out inside requests too.
+  StartServer(options);
+
+  int cli_exit = 0;
+  const std::string cli = RunCliStdout(
+      "--threads=1 " + Path("cisco.cfg") + " " + Path("juniper.conf"),
+      &cli_exit);
+  ASSERT_EQ(cli_exit, 2);
+  ASSERT_FALSE(cli.empty());
+
+  const std::string body =
+      DiffRequestBody(testing::kFig1Cisco, testing::kFig1Juniper);
+  constexpr int kClients = 4;
+  std::vector<std::string> bodies(kClients);
+  std::vector<int> statuses(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      HttpClientResponse response;
+      std::string error;
+      if (HttpFetch("127.0.0.1", server_->port(), "POST", "/diff", body,
+                    &response, &error)) {
+        statuses[i] = response.status;
+        bodies[i] = response.body;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(statuses[i], 200) << "client " << i;
+    EXPECT_EQ(bodies[i], cli) << "client " << i;
+  }
+  // Every request's metrics were captured: 4 diffs folded, exactly one
+  // template build among them.
+  HttpClientResponse metrics = Fetch("GET", "/metrics");
+  EXPECT_NE(metrics.body.find("server.diff_requests 4"), std::string::npos);
+  const TemplateCache::Stats stats = service_->CacheStats();
+  EXPECT_EQ(stats.hits + stats.misses, 4u);
+  EXPECT_GE(stats.hits, 3u);  // Concurrent misses dedup through the build lock.
+}
+
+TEST_F(ServerTest, KeepAliveConnectionReuseIsCountedAndExposed) {
+  StartServer(ServiceOptions{});
+  HttpClientConnection connection;
+  std::string error;
+  ASSERT_TRUE(connection.Connect("127.0.0.1", server_->port(), &error))
+      << error;
+  HttpClientResponse response;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(connection.Roundtrip("GET", "/healthz", "", &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, "ok\n");
+  }
+  // Request 4 on the same connection: three reuses so far, and this
+  // request's own reuse is counted before the handler renders /metrics.
+  ASSERT_TRUE(connection.Roundtrip("GET", "/metrics", "", &response, &error))
+      << error;
+  EXPECT_NE(response.body.find("server.keepalive_reuses 3"),
+            std::string::npos)
+      << response.body;
+  EXPECT_EQ(server_->keepalive_reuses(), 3u);
+}
+
+TEST_F(ServerTest, PrometheusFormatExposesTypedFamiliesAndHistograms) {
+  StartServer(ServiceOptions{});
+  const std::string body =
+      DiffRequestBody(testing::kFig1Cisco, testing::kFig1Juniper);
+  ASSERT_EQ(Fetch("POST", "/diff", body).status, 200);
+  ASSERT_EQ(Fetch("POST", "/diff", body).status, 200);
+
+  HttpClientResponse metrics = Fetch("GET", "/metrics?format=prometheus");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.headers["content-type"].find("version=0.0.4"),
+            std::string::npos);
+  const std::string& text = metrics.body;
+  EXPECT_NE(text.find("# TYPE campion_server_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE campion_request_duration_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("campion_request_duration_ns_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("campion_phase_duration_ns_bucket{phase=\"diff\",le="),
+            std::string::npos);
+  // Watermark-style metrics expose as gauges, counters as counters.
+  EXPECT_NE(text.find("# TYPE campion_bdd_mem_peak_bytes gauge"),
+            std::string::npos);
+
+  // Cumulative bucket counts must be non-decreasing in le order, ending at
+  // _count (the same invariant the CI smoke job greps for).
+  std::uint64_t previous = 0;
+  std::uint64_t final_count = 0;
+  std::size_t bucket_lines = 0;
+  std::istringstream lines(text);
+  std::string line;
+  const std::string prefix = "campion_request_duration_ns_bucket{le=";
+  while (std::getline(lines, line)) {
+    if (line.rfind(prefix, 0) == 0) {
+      const std::size_t space = line.rfind(' ');
+      const std::uint64_t value =
+          std::strtoull(line.substr(space + 1).c_str(), nullptr, 10);
+      EXPECT_GE(value, previous) << line;
+      previous = value;
+      ++bucket_lines;
+    }
+    if (line.rfind("campion_request_duration_ns_count ", 0) == 0) {
+      final_count =
+          std::strtoull(line.substr(line.rfind(' ') + 1).c_str(), nullptr, 10);
+    }
+  }
+  EXPECT_GE(bucket_lines, 2u);  // At least one real bucket plus +Inf.
+  EXPECT_EQ(previous, final_count);  // +Inf bucket == total count.
+  // The two diffs; the scrape itself records only after rendering.
+  EXPECT_EQ(final_count, 2u);
+
+  EXPECT_EQ(Fetch("GET", "/metrics?format=yaml").status, 400);
+}
+
+TEST_F(ServerTest, PlainMetricsExposeLatencyQuantiles) {
+  StartServer(ServiceOptions{});
+  ASSERT_EQ(Fetch("POST", "/diff",
+                  DiffRequestBody(testing::kFig1Cisco, testing::kFig1Juniper))
+                .status,
+            200);
+  HttpClientResponse metrics = Fetch("GET", "/metrics");
+  for (const char* line :
+       {"server.latency.diff.count 1", "server.latency.diff.p50_ns ",
+        "server.latency.diff.p95_ns ", "server.latency.diff.p99_ns ",
+        "server.phase.parse.count 1", "server.phase.diff.p50_ns ",
+        "server.latency.request.count "}) {
+    EXPECT_NE(metrics.body.find(line), std::string::npos) << line;
+  }
+}
+
+TEST_F(ServerTest, DebugRequestsExposeFlightRecorderRing) {
+  StartServer(ServiceOptions{});
+  const std::string body =
+      DiffRequestBody(testing::kFig1Cisco, testing::kFig1Juniper);
+  ASSERT_EQ(Fetch("POST", "/diff", body).status, 200);
+  ASSERT_EQ(Fetch("POST", "/diff", body).status, 200);
+
+  HttpClientResponse list = Fetch("GET", "/debug/requests");
+  ASSERT_EQ(list.status, 200);
+  util::JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(util::ParseJson(list.body, parsed, &error)) << error;
+  const util::JsonValue* requests = parsed.Find("requests");
+  ASSERT_TRUE(requests != nullptr);
+  ASSERT_EQ(requests->array.size(), 2u);
+  // Newest first; both diffs retained with phase breakdown and cache
+  // disposition.
+  const util::JsonValue& newest = requests->array[0];
+  EXPECT_EQ(newest.Find("id")->number, 2.0);
+  EXPECT_EQ(newest.Find("endpoint")->string, "/diff");
+  EXPECT_EQ(newest.Find("cache")->string, "hit");
+  EXPECT_EQ(requests->array[1].Find("cache")->string, "miss");
+  EXPECT_GT(newest.Find("wall_ns")->number, 0.0);
+  EXPECT_GT(newest.Find("phases")->Find("diff_ns")->number, 0.0);
+  EXPECT_FALSE(newest.Find("template_key")->string.empty());
+  // Both requests hit the same template: identical key digests.
+  EXPECT_EQ(newest.Find("template_key")->string,
+            requests->array[1].Find("template_key")->string);
+
+  // Detail view carries the span tree while the entry ranks in the
+  // slowest-K.
+  HttpClientResponse detail = Fetch("GET", "/debug/requests/1");
+  ASSERT_EQ(detail.status, 200);
+  util::JsonValue entry;
+  ASSERT_TRUE(util::ParseJson(detail.body, entry, &error)) << error;
+  const util::JsonValue* trace = entry.Find("trace");
+  ASSERT_TRUE(trace != nullptr);
+  EXPECT_TRUE(trace->Find("spans") != nullptr);
+
+  EXPECT_EQ(Fetch("GET", "/debug/requests/999").status, 404);
+  EXPECT_EQ(Fetch("GET", "/debug/requests/bogus").status, 400);
+}
+
+TEST_F(ServerTest, DebugCacheAndSessionsViews) {
+  StartServer(ServiceOptions{});
+  const std::string body =
+      DiffRequestBody(testing::kFig1Cisco, testing::kFig1Juniper);
+  ASSERT_EQ(Fetch("POST", "/diff", body).status, 200);
+  ASSERT_EQ(Fetch("POST", "/diff", body).status, 200);
+  ASSERT_EQ(Fetch("PUT", "/sessions/core1/running", testing::kFig1Cisco).status,
+            200);
+
+  HttpClientResponse cache = Fetch("GET", "/debug/cache");
+  ASSERT_EQ(cache.status, 200);
+  util::JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(util::ParseJson(cache.body, parsed, &error)) << error;
+  EXPECT_EQ(parsed.Find("misses")->number, 1.0);
+  EXPECT_EQ(parsed.Find("hits")->number, 1.0);
+  const util::JsonValue* entries = parsed.Find("entries");
+  ASSERT_TRUE(entries != nullptr);
+  ASSERT_EQ(entries->array.size(), 1u);
+  EXPECT_EQ(entries->array[0].Find("key")->string.size(), 16u);  // Hex FNV64.
+  EXPECT_EQ(entries->array[0].Find("hits")->number, 1.0);
+  EXPECT_GT(entries->array[0].Find("resident_bytes")->number, 0.0);
+
+  HttpClientResponse sessions = Fetch("GET", "/debug/sessions");
+  ASSERT_EQ(sessions.status, 200);
+  ASSERT_TRUE(util::ParseJson(sessions.body, parsed, &error)) << error;
+  const util::JsonValue* list = parsed.Find("sessions");
+  ASSERT_TRUE(list != nullptr);
+  ASSERT_EQ(list->array.size(), 1u);
+  EXPECT_EQ(list->array[0].Find("name")->string, "core1");
+  EXPECT_GT(list->array[0].Find("running_bytes")->number, 0.0);
+  EXPECT_EQ(list->array[0].Find("candidate_bytes")->number, 0.0);
+}
+
+TEST_F(ServerTest, FlightRecorderOffAnswers404) {
+  ServiceOptions options;
+  options.flight_recorder = false;
+  StartServer(options);
+  ASSERT_EQ(Fetch("POST", "/diff",
+                  DiffRequestBody(testing::kFig1Cisco, testing::kFig1Juniper))
+                .status,
+            200);
+  EXPECT_EQ(Fetch("GET", "/debug/requests").status, 404);
+  EXPECT_EQ(service_->Recorder().size(), 0u);
+}
+
+TEST_F(ServerTest, FlightRecorderMemoryStaysBoundedOver200Requests) {
+  ServiceOptions options;
+  options.flight_recorder_entries = 16;
+  options.flight_recorder_spans = 4;
+  StartServer(options);
+  // Cheap diff executions (static routes only: no BDD work) still flow
+  // through the recorder; a couple of full ones salt the slowest-K pool.
+  const std::string cheap =
+      DiffRequestBody(testing::kFig1Cisco, testing::kFig1Juniper,
+                      ",\"checks\":\"static\"");
+  const std::string full =
+      DiffRequestBody(testing::kFig1Cisco, testing::kFig1Juniper);
+  ASSERT_EQ(Fetch("POST", "/diff", full).status, 200);
+  for (int i = 0; i < 198; ++i) {
+    ASSERT_EQ(Fetch("POST", "/diff", cheap).status, 200);
+  }
+  ASSERT_EQ(Fetch("POST", "/diff", full).status, 200);
+
+  // The ring holds exactly N entries with at most K traces, regardless of
+  // how many requests flowed through.
+  EXPECT_EQ(service_->Recorder().size(), 16u);
+  EXPECT_LE(service_->Recorder().TraceCount(), 4u);
+
+  HttpClientResponse list = Fetch("GET", "/debug/requests");
+  util::JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(util::ParseJson(list.body, parsed, &error)) << error;
+  const util::JsonValue* requests = parsed.Find("requests");
+  ASSERT_EQ(requests->array.size(), 16u);
+  EXPECT_EQ(requests->array[0].Find("id")->number, 200.0);  // Newest first.
+  // The final full diff is the slowest thing in the ring: its trace
+  // survived the shedding.
+  EXPECT_EQ(requests->array[0].Find("trace_retained")->boolean, true);
 }
 
 TEST_F(ServerTest, ErrorStatuses) {
