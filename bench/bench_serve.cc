@@ -104,9 +104,13 @@ struct Daemon {
 ServiceOptions DaemonDefaults() {
   // Mirrors campion_serve's defaults: cache on, one-time sift per cache
   // entry, GC on. Serial diff execution keeps the wall times comparable.
+  // The result cache is OFF here — every section measures the template
+  // cache / GC / recorder pipeline, and a result-cache replay would short-
+  // circuit exactly the machinery under test (bench_fleet covers it).
   ServiceOptions options;
   options.diff.num_threads = 1;
   options.diff.reorder = campion::core::DiffOptions::ReorderMode::kSift;
+  options.result_cache = false;
   return options;
 }
 
@@ -374,10 +378,24 @@ void PrintSummary() {
   }
 
   // --- 6. HTTP-thread scaling -------------------------------------------
+  if (std::thread::hardware_concurrency() <= 1) {
+    // A 1-vs-4-worker wall ratio is meaningless without CPUs to scale
+    // onto; recording the ~1x it produces would read as a scaling failure.
+    std::cout << "\nHTTP-thread scaling: skipped "
+                 "(hardware_concurrency == 1)\n";
+    metrics.Record("http_threads_scaling_skipped", 1.0);
+    metrics.RecordUnit("http_threads_scaling_skipped",
+                       "1 = probe skipped on a single-CPU host instead of "
+                       "recording a misleading ~1x speedup");
+    metrics.Record("hardware_concurrency",
+                   static_cast<double>(std::thread::hardware_concurrency()));
+    return;
+  }
   constexpr int kClients = 4;
   constexpr int kRequestsPerClient = 15;
   std::cout << "\n" << kClients << " concurrent clients x "
             << kRequestsPerClient << " warm requests:\n";
+  metrics.Record("http_threads_scaling_skipped", 0.0);
   double single_thread_seconds = 0.0;
   for (const int http_threads : {1, 4}) {
     Daemon daemon(DaemonDefaults(), http_threads);

@@ -34,6 +34,7 @@ run bench_bdd
 run bench_full_pipeline
 run bench_reorder
 run bench_serve
+run bench_fleet
 
 # Trace capture: one serial run of the committed university-core pair.
 # --threads=1 plus the deterministic trace structure make the file
@@ -107,4 +108,4 @@ echo "stdout parity: OK (report byte-identical with reordering off and on)"
 
 echo
 echo "Wrote BENCH_bdd.json, BENCH_full_pipeline.json, BENCH_reorder.json," \
-     "BENCH_serve.json, and $TRACE"
+     "BENCH_serve.json, BENCH_fleet.json, and $TRACE"

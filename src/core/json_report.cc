@@ -35,6 +35,11 @@ std::string JsonEscape(const std::string& text) {
   return util::JsonEscape(text);
 }
 
+std::string ReportJsonFragment(const std::string& rendered, bool is_json) {
+  if (is_json) return rendered;
+  return "\"" + util::JsonEscape(rendered) + "\"";
+}
+
 std::string ReportToJson(const DiffReport& report, const std::string& router1,
                          const std::string& router2) {
   std::string out = "{\n";

@@ -33,4 +33,10 @@ std::string ReportToJson(const DiffReport& report,
 // characters).
 std::string JsonEscape(const std::string& text);
 
+// Renders an already-formatted report body as a JSON fragment for
+// embedding in composite responses (the daemon's obs envelope and per-pair
+// /batch items): the object verbatim when the body is ReportToJson output,
+// otherwise a JSON string literal of the text rendering.
+std::string ReportJsonFragment(const std::string& rendered, bool is_json);
+
 }  // namespace campion::core

@@ -33,6 +33,13 @@ void AppendSummary(std::ostringstream& out, const FlightRecord& record) {
   } else {
     out << ",\"template_key\":null";
   }
+  out << ",\"result_cache\":\"" << util::JsonEscape(record.result_cache)
+      << '"';
+  if (record.result_key_hash != 0) {
+    out << ",\"result_key\":\"" << KeyHashHex(record.result_key_hash) << '"';
+  } else {
+    out << ",\"result_key\":null";
+  }
   out << ",\"equivalent\":" << (record.equivalent ? "true" : "false")
       << ",\"differences\":" << record.differences << ",\"trace_retained\":"
       << (record.spans.empty() ? "false" : "true");

@@ -33,8 +33,13 @@ struct FlightRecord {
   std::uint64_t template_ns = 0;
   std::uint64_t diff_ns = 0;
   std::uint64_t render_ns = 0;
-  std::string cache;           // "hit", "miss", or "off".
+  std::string cache;           // Template cache: "hit", "miss", or "off".
   std::uint64_t template_key_hash = 0;  // FNV-1a of the cache key; 0 = off.
+  // Result cache: "hit", "miss", "bypass" (obs envelope requested), or
+  // "off". On a hit the template phases above are zero — the response was
+  // replayed, not recomputed.
+  std::string result_cache = "off";
+  std::uint64_t result_key_hash = 0;    // FNV-1a of the result key; 0 = off.
   bool equivalent = false;
   std::size_t differences = 0;
   // Retained only while this record is among the K slowest in the ring.

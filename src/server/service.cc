@@ -8,11 +8,13 @@
 #include <vector>
 
 #include "core/json_report.h"
+#include "encode/fingerprint.h"
 #include "frontend/loader.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_report.h"
 #include "util/json.h"
+#include "util/thread_pool.h"
 
 namespace campion::server {
 
@@ -156,6 +158,30 @@ std::string KeyHashHex(std::uint64_t hash) {
   return out.str();
 }
 
+// The result-cache key: both configs' full canonical serializations plus
+// every option the response bytes depend on. The performance knobs
+// (threads, template, reorder) are deliberately absent — the determinism
+// contract pins the body as byte-identical across all of them.
+std::string ResultCacheKeyFor(const ir::RouterConfig& config1,
+                              const ir::RouterConfig& config2,
+                              const core::DiffOptions& options,
+                              bool json_format) {
+  std::string key = encode::ConfigCanonicalKey(config1);
+  key += '\037';
+  key += encode::ConfigCanonicalKey(config2);
+  key += "\037checks=";
+  key += options.check_route_maps ? 'r' : '-';
+  key += options.check_acls ? 'a' : '-';
+  key += options.check_static_routes ? 's' : '-';
+  key += options.check_connected_routes ? 'c' : '-';
+  key += options.check_ospf ? 'o' : '-';
+  key += options.check_bgp_properties ? 'b' : '-';
+  key += options.check_admin_distances ? 'd' : '-';
+  key += ";format=";
+  key += json_format ? "json" : "text";
+  return key;
+}
+
 }  // namespace
 
 DiffService::DiffService(ServiceOptions options)
@@ -169,6 +195,13 @@ DiffService::DiffService(ServiceOptions options)
         cache_options.max_resident_bytes = options_.gc_watermark_bytes;
         cache_options.max_entries = options_.cache_max_entries;
         return cache_options;
+      }()),
+      result_cache_([&] {
+        ResultCache::Options result_options;
+        result_options.max_resident_bytes =
+            options_.result_cache_watermark_bytes;
+        result_options.max_entries = options_.result_cache_max_entries;
+        return result_options;
       }()),
       flight_([&] {
         FlightRecorder::Options flight_options;
@@ -193,6 +226,8 @@ HttpResponse DiffService::Handle(const HttpRequest& request) {
     endpoint_latency_.healthz.Record(wall_ns);
   } else if (request.path == "/metrics") {
     endpoint_latency_.metrics.Record(wall_ns);
+  } else if (request.path == "/batch") {
+    endpoint_latency_.batch.Record(wall_ns);
   } else if (request.path == "/diff" ||
              (request.path.rfind("/sessions/", 0) == 0 &&
               request.path.size() >= 5 &&
@@ -225,6 +260,10 @@ HttpResponse DiffService::Dispatch(const HttpRequest& request) {
   if (request.path == "/diff") {
     if (request.method != "POST") return JsonError(405, "use POST");
     return HandleDiff(request);
+  }
+  if (request.path == "/batch") {
+    if (request.method != "POST") return JsonError(405, "use POST");
+    return HandleBatch(request);
   }
   if (request.path == "/sessions" || request.path.rfind("/sessions/", 0) == 0) {
     return HandleSessions(request);
@@ -290,27 +329,24 @@ HttpResponse DiffService::HandleDiff(const HttpRequest& request) {
                  diff_options, json_format, want_obs);
 }
 
-HttpResponse DiffService::RunDiff(const std::string& endpoint,
-                                  const std::string& text1,
-                                  const std::string& vendor1,
-                                  const std::string& text2,
-                                  const std::string& vendor2,
-                                  const core::DiffOptions& options,
-                                  bool json_format, bool want_obs) {
-  // Request-private capture: this sink collects every metric the request
+DiffService::PairOutcome DiffService::ExecutePair(const PairTask& task) {
+  // Task-private capture: this sink collects every metric the task
   // produces — on this thread via the scope below, and on ConfigDiff's
   // pooled pair tasks via DiffOptions::metrics_sink. No cross-request
-  // lock; concurrent requests each fold their own snapshot at the end.
+  // lock; concurrent tasks each fold their own snapshot at the end.
   obs::MetricsSink sink;
   obs::MetricsScope metrics_scope(sink);
   obs::ResetThreadTrace();
 
   FlightRecord record;
-  record.endpoint = endpoint;
+  record.endpoint = task.endpoint;
   record.cache = "off";
+  PairOutcome outcome;
   const std::uint64_t wall_start = obs::NowNs();
-  auto finish = [&](HttpResponse response) {
-    record.status = response.status;
+  auto finish = [&] {
+    record.result_cache = outcome.result_cache;
+    record.result_key_hash = outcome.result_key_hash;
+    record.status = outcome.status;
     record.wall_ns = obs::NowNs() - wall_start;
     phase_latency_.parse.Record(record.parse_ns);
     if (record.template_ns > 0) {
@@ -319,24 +355,67 @@ HttpResponse DiffService::RunDiff(const std::string& endpoint,
     if (record.diff_ns > 0) phase_latency_.diff.Record(record.diff_ns);
     if (record.render_ns > 0) phase_latency_.render.Record(record.render_ns);
     if (options_.flight_recorder) flight_.Record(std::move(record));
-    return response;
+    return outcome;
+  };
+  auto fail = [&](int status, const std::string& message) {
+    outcome.status = status;
+    outcome.error = message;
+    outcome.content_type = "application/json";
+    outcome.body = "{\"error\":\"" + util::JsonEscape(message) + "\"}\n";
+    return finish();
   };
 
   frontend::LoadResult loaded1;
   frontend::LoadResult loaded2;
   const std::uint64_t parse_start = obs::NowNs();
   try {
-    loaded1 = frontend::LoadConfig(text1, "config1", ParseVendor(vendor1));
-    loaded2 = frontend::LoadConfig(text2, "config2", ParseVendor(vendor2));
+    loaded1 =
+        frontend::LoadConfig(task.text1, "config1", ParseVendor(task.vendor1));
+    loaded2 =
+        frontend::LoadConfig(task.text2, "config2", ParseVendor(task.vendor2));
   } catch (const std::exception& error) {
     record.parse_ns = obs::NowNs() - parse_start;
     BumpCounter("server.errors");
     BumpCounter("server.parse_failures");
-    return finish(JsonError(422, error.what()));
+    return fail(422, error.what());
   }
   record.parse_ns = obs::NowNs() - parse_start;
 
-  core::DiffOptions diff_options = options;
+  // Result-cache consult: a hit replays the rendered response and skips
+  // template fetch, diff, and render — the incremental re-diff shortcut.
+  // Only the parse above was paid (the fingerprint needs the IR). Obs
+  // requests bypass: their envelope carries this request's live trace.
+  std::string result_key;
+  const bool result_eligible = options_.result_cache && !task.want_obs;
+  if (result_eligible) {
+    result_key = ResultCacheKeyFor(loaded1.config, loaded2.config,
+                                   task.options, task.json_format);
+    std::uint64_t key_hash = 0;
+    if (std::shared_ptr<const ResultCache::Result> cached =
+            result_cache_.Get(result_key, &key_hash)) {
+      outcome.result_cache = "hit";
+      outcome.result_key_hash = key_hash;
+      outcome.body = cached->body;
+      outcome.content_type = cached->content_type;
+      outcome.equivalent = cached->equivalent;
+      outcome.differences = cached->differences;
+      outcome.template_cache = cached->template_cache;
+      record.cache = cached->template_cache;
+      record.template_key_hash = cached->template_key_hash;
+      record.equivalent = cached->equivalent;
+      record.differences = cached->differences;
+      record.spans = obs::TakeThreadSpans();
+      record.metrics = sink.Snapshot();
+      FoldMetrics(record.metrics);
+      return finish();
+    }
+    outcome.result_cache = "miss";
+    outcome.result_key_hash = key_hash;
+  } else if (options_.result_cache) {
+    outcome.result_cache = "bypass";
+  }
+
+  core::DiffOptions diff_options = task.options;
   diff_options.metrics_sink = &sink;
   std::shared_ptr<const encode::EncodingTemplate> tmpl;
   bool cache_hit = false;
@@ -352,6 +431,8 @@ HttpResponse DiffService::RunDiff(const std::string& endpoint,
     record.template_key_hash = key_hash;
     record.cache = cache_hit ? "hit" : "miss";
   }
+  outcome.template_cache = cache_eligible ? (cache_hit ? "hit" : "miss")
+                                          : "off";
 
   core::DiffReport report;
   const std::uint64_t diff_start = obs::NowNs();
@@ -360,55 +441,251 @@ HttpResponse DiffService::RunDiff(const std::string& endpoint,
   } catch (const std::exception& error) {
     record.diff_ns = obs::NowNs() - diff_start;
     BumpCounter("server.errors");
-    return finish(JsonError(500, error.what()));
+    return fail(500, error.what());
   }
   record.diff_ns = obs::NowNs() - diff_start;
 
   std::vector<obs::Span> spans = obs::TakeThreadSpans();
-  auto metrics = sink.Snapshot();
-  FoldMetrics(metrics);
 
   const std::uint64_t render_start = obs::NowNs();
   const std::string report_body =
-      json_format ? core::ReportToJson(report, loaded1.config.hostname,
-                                       loaded2.config.hostname)
-                  : report.Render();
+      task.json_format ? core::ReportToJson(report, loaded1.config.hostname,
+                                            loaded2.config.hostname)
+                       : report.Render();
   record.render_ns = obs::NowNs() - render_start;
   record.equivalent = report.Equivalent();
   record.differences = report.entries.size();
+  outcome.equivalent = report.Equivalent();
+  outcome.differences = report.entries.size();
 
-  HttpResponse response;
-  response.headers.emplace_back("X-Campion-Equivalent",
-                                report.Equivalent() ? "true" : "false");
-  response.headers.emplace_back("X-Campion-Differences",
-                                std::to_string(report.entries.size()));
-  response.headers.emplace_back(
-      "X-Campion-Template-Cache",
-      cache_eligible ? (cache_hit ? "hit" : "miss") : "off");
-  if (want_obs) {
+  if (task.want_obs) {
     // The one response shape that is NOT CLI byte-identical, by request:
     // the report plus this request's span tree and metrics snapshot.
-    response.content_type = "application/json";
+    outcome.content_type = "application/json";
     std::ostringstream out;
-    out << "{\"report\":";
-    if (json_format) {
-      out << report_body;
-    } else {
-      out << '"' << util::JsonEscape(report_body) << '"';
-    }
-    out << ",\"equivalent\":" << (report.Equivalent() ? "true" : "false");
-    out << ",\"obs\":" << obs::TraceToJson(spans, metrics) << "}\n";
-    response.body = out.str();
+    out << "{\"report\":"
+        << core::ReportJsonFragment(report_body, task.json_format)
+        << ",\"equivalent\":" << (report.Equivalent() ? "true" : "false")
+        << ",\"obs\":" << obs::TraceToJson(spans, sink.Snapshot()) << "}\n";
+    outcome.body = out.str();
   } else {
-    response.content_type =
-        json_format ? "application/json" : "text/plain; charset=utf-8";
-    response.body = report_body;
+    outcome.content_type =
+        task.json_format ? "application/json" : "text/plain; charset=utf-8";
+    outcome.body = report_body;
   }
+
+  if (result_eligible) {
+    auto cached = std::make_shared<ResultCache::Result>();
+    cached->body = outcome.body;
+    cached->content_type = outcome.content_type;
+    cached->equivalent = outcome.equivalent;
+    cached->differences = outcome.differences;
+    cached->template_cache = outcome.template_cache;
+    cached->template_key_hash = record.template_key_hash;
+    result_cache_.Put(result_key, std::move(cached));
+  }
+
+  auto metrics = sink.Snapshot();
+  FoldMetrics(metrics);
   // Hand the trace to the recorder last: it sheds the spans again unless
   // this request ranks among the slowest K in the ring.
   record.spans = std::move(spans);
   record.metrics = std::move(metrics);
-  return finish(std::move(response));
+  return finish();
+}
+
+HttpResponse DiffService::RunDiff(const std::string& endpoint,
+                                  const std::string& text1,
+                                  const std::string& vendor1,
+                                  const std::string& text2,
+                                  const std::string& vendor2,
+                                  const core::DiffOptions& options,
+                                  bool json_format, bool want_obs) {
+  PairTask task;
+  task.endpoint = endpoint;
+  task.text1 = text1;
+  task.vendor1 = vendor1;
+  task.text2 = text2;
+  task.vendor2 = vendor2;
+  task.options = options;
+  task.json_format = json_format;
+  task.want_obs = want_obs;
+  PairOutcome outcome = ExecutePair(task);
+
+  HttpResponse response;
+  response.status = outcome.status;
+  response.content_type = outcome.content_type;
+  response.body = std::move(outcome.body);
+  if (outcome.status == 200) {
+    response.headers.emplace_back("X-Campion-Equivalent",
+                                  outcome.equivalent ? "true" : "false");
+    response.headers.emplace_back("X-Campion-Differences",
+                                  std::to_string(outcome.differences));
+    response.headers.emplace_back("X-Campion-Template-Cache",
+                                  outcome.template_cache);
+    response.headers.emplace_back("X-Campion-Result-Cache",
+                                  outcome.result_cache);
+  }
+  return response;
+}
+
+HttpResponse DiffService::HandleBatch(const HttpRequest& request) {
+  util::JsonValue body;
+  std::string parse_error;
+  if (!util::ParseJson(request.body, body, &parse_error)) {
+    BumpCounter("server.errors");
+    return JsonError(400, "request body must be JSON: " + parse_error);
+  }
+  // Either {"pairs": [...], "format": ..., "checks": ...} or a bare array
+  // of pair objects.
+  const util::JsonValue* pairs_json = nullptr;
+  bool json_format = false;
+  core::DiffOptions diff_options = options_.diff;
+  if (body.IsArray()) {
+    pairs_json = &body;
+  } else if (body.IsObject()) {
+    pairs_json = body.Find("pairs");
+    if (const util::JsonValue* v = body.Find("format"); v != nullptr) {
+      if (v->string == "json") {
+        json_format = true;
+      } else if (v->string != "text") {
+        BumpCounter("server.errors");
+        return JsonError(400, "format must be text or json");
+      }
+    }
+    if (const util::JsonValue* v = body.Find("checks");
+        v != nullptr && v->IsString()) {
+      std::string error;
+      if (!ParseChecks(v->string, &diff_options, &error)) {
+        BumpCounter("server.errors");
+        return JsonError(400, error);
+      }
+    }
+  }
+  if (pairs_json == nullptr || !pairs_json->IsArray() ||
+      pairs_json->array.empty()) {
+    BumpCounter("server.errors");
+    return JsonError(400,
+                     "field 'pairs' (non-empty array of pair objects) is "
+                     "required");
+  }
+  // Each pair fans its ConfigDiff out over one worker: the batch itself is
+  // the parallelism (pair granularity), and nesting pools would
+  // oversubscribe. The response is byte-identical either way.
+  diff_options.num_threads = 1;
+
+  std::vector<PairTask> tasks;
+  tasks.reserve(pairs_json->array.size());
+  for (const util::JsonValue& pair : pairs_json->array) {
+    if (!pair.IsObject()) {
+      BumpCounter("server.errors");
+      return JsonError(400, "each pair must be a JSON object");
+    }
+    const util::JsonValue* name = pair.Find("name");
+    const util::JsonValue* config1 = pair.Find("config1");
+    const util::JsonValue* config2 = pair.Find("config2");
+    if (name == nullptr || !name->IsString() || name->string.empty() ||
+        config1 == nullptr || !config1->IsString() || config2 == nullptr ||
+        !config2->IsString()) {
+      BumpCounter("server.errors");
+      return JsonError(400,
+                       "each pair requires 'name', 'config1', and 'config2' "
+                       "(strings)");
+    }
+    PairTask task;
+    task.endpoint = "/batch#" + name->string;
+    task.text1 = config1->string;
+    task.text2 = config2->string;
+    task.vendor1 = "auto";
+    task.vendor2 = "auto";
+    if (const util::JsonValue* v = pair.Find("vendor1"); v != nullptr) {
+      task.vendor1 = v->string;
+    }
+    if (const util::JsonValue* v = pair.Find("vendor2"); v != nullptr) {
+      task.vendor2 = v->string;
+    }
+    if (!ValidVendor(task.vendor1) || !ValidVendor(task.vendor2)) {
+      BumpCounter("server.errors");
+      return JsonError(400, "vendor must be auto, cisco, or juniper");
+    }
+    task.options = diff_options;
+    task.json_format = json_format;
+    tasks.push_back(std::move(task));
+  }
+  BumpCounter("server.batch_requests");
+  BumpCounter("server.batch_pairs", static_cast<double>(tasks.size()));
+
+  // Largest-first schedule: FIFO submission order is execution order, so
+  // sorting the index permutation by total config bytes (descending) keeps
+  // the biggest pairs from landing last and serializing the batch tail.
+  // Results land in declaration-order slots, so the merged response is
+  // byte-identical at any worker count.
+  std::vector<std::size_t> schedule(tasks.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) schedule[i] = i;
+  std::sort(schedule.begin(), schedule.end(),
+            [&](std::size_t a, std::size_t b) {
+              const std::size_t size_a = tasks[a].text1.size() +
+                                         tasks[a].text2.size();
+              const std::size_t size_b = tasks[b].text1.size() +
+                                         tasks[b].text2.size();
+              if (size_a != size_b) return size_a > size_b;
+              return a < b;
+            });
+  std::vector<PairOutcome> outcomes(tasks.size());
+  const unsigned workers = util::ResolveThreadCount(options_.diff.num_threads);
+  util::RunParallel(workers, tasks.size(), [&](std::size_t i) {
+    const std::size_t pair_index = schedule[i];
+    outcomes[pair_index] = ExecutePair(tasks[pair_index]);
+  });
+
+  // Merge in declaration order.
+  bool all_ok = true;
+  bool all_equivalent = true;
+  bool all_hits = true;
+  std::size_t total_differences = 0;
+  std::ostringstream out;
+  out << "{\"pairs\":[";
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const PairOutcome& outcome = outcomes[i];
+    const util::JsonValue& pair = pairs_json->array[i];
+    if (i > 0) out << ',';
+    out << "\n{\"name\":\"" << util::JsonEscape(pair.Find("name")->string)
+        << "\",\"status\":" << outcome.status;
+    if (outcome.status != 200) {
+      out << ",\"error\":\"" << util::JsonEscape(outcome.error) << "\"}";
+      all_ok = false;
+      all_equivalent = false;
+      all_hits = false;
+      continue;
+    }
+    // Cache dispositions deliberately stay OUT of the body: the batch
+    // response must be byte-identical with the result cache on or off and
+    // at any worker count. Dispositions live in the X-Campion-Result-Cache
+    // header, /metrics, and the flight recorder.
+    out << ",\"equivalent\":" << (outcome.equivalent ? "true" : "false")
+        << ",\"differences\":" << outcome.differences << ",\"report\":"
+        << core::ReportJsonFragment(outcome.body, json_format) << '}';
+    all_equivalent = all_equivalent && outcome.equivalent;
+    all_hits = all_hits && outcome.result_cache == "hit";
+    total_differences += outcome.differences;
+  }
+  out << "\n],\"pairs_total\":" << tasks.size()
+      << ",\"equivalent\":" << (all_ok && all_equivalent ? "true" : "false")
+      << "}\n";
+
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = out.str();
+  response.headers.emplace_back("X-Campion-Batch-Pairs",
+                                std::to_string(tasks.size()));
+  response.headers.emplace_back(
+      "X-Campion-Equivalent", all_ok && all_equivalent ? "true" : "false");
+  response.headers.emplace_back("X-Campion-Differences",
+                                std::to_string(total_differences));
+  response.headers.emplace_back(
+      "X-Campion-Result-Cache",
+      options_.result_cache ? (all_hits ? "hit" : "miss") : "off");
+  return response;
 }
 
 HttpResponse DiffService::HandleMetrics(const HttpRequest& request) {
@@ -441,6 +718,8 @@ std::string DiffService::RenderMetricsText() {
   // Latency quantiles from the endpoint and phase histograms. Bounds are
   // inclusive bucket upper bounds (within 25% of the true rank value; see
   // obs/histogram.h).
+  AppendTextQuantiles(out, "server.latency.batch",
+                      endpoint_latency_.batch.Snapshot());
   AppendTextQuantiles(out, "server.latency.diff",
                       endpoint_latency_.diff.Snapshot());
   AppendTextQuantiles(out, "server.latency.request",
@@ -453,6 +732,13 @@ std::string DiffService::RenderMetricsText() {
                       phase_latency_.render.Snapshot());
   AppendTextQuantiles(out, "server.phase.template",
                       phase_latency_.template_fetch.Snapshot());
+  const ResultCache::Stats results = result_cache_.GetStats();
+  out << "server.result_cache_entries " << results.entries << '\n';
+  out << "server.result_cache_evictions " << results.evictions << '\n';
+  out << "server.result_cache_hits " << results.hits << '\n';
+  out << "server.result_cache_misses " << results.misses << '\n';
+  out << "server.result_cache_resident_bytes " << results.resident_bytes
+      << '\n';
   const TemplateCache::Stats cache = cache_.GetStats();
   out << "server.template_cache_entries " << cache.entries << '\n';
   out << "server.template_cache_evictions " << cache.evictions << '\n';
@@ -499,6 +785,12 @@ std::string DiffService::RenderMetricsPrometheus() {
   counter("campion_server_template_cache_evictions", cache.evictions);
   gauge("campion_server_template_cache_entries", cache.entries);
   gauge("campion_server_template_cache_resident_bytes", cache.resident_bytes);
+  const ResultCache::Stats results = result_cache_.GetStats();
+  counter("campion_server_result_cache_hits", results.hits);
+  counter("campion_server_result_cache_misses", results.misses);
+  counter("campion_server_result_cache_evictions", results.evictions);
+  gauge("campion_server_result_cache_entries", results.entries);
+  gauge("campion_server_result_cache_resident_bytes", results.resident_bytes);
   {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
     gauge("campion_server_sessions", sessions_.size());
@@ -513,6 +805,7 @@ std::string DiffService::RenderMetricsPrometheus() {
       {"healthz", &endpoint_latency_.healthz},
       {"metrics", &endpoint_latency_.metrics},
       {"diff", &endpoint_latency_.diff},
+      {"batch", &endpoint_latency_.batch},
       {"sessions", &endpoint_latency_.sessions},
       {"debug", &endpoint_latency_.debug},
       {"other", &endpoint_latency_.other},
@@ -578,6 +871,25 @@ HttpResponse DiffService::HandleDebug(const HttpRequest& request) {
           << "\",\"resident_bytes\":" << info.resident_bytes
           << ",\"hits\":" << info.hits << ",\"build_seq\":" << info.build_seq
           << '}';
+    }
+    out << "]}\n";
+    return JsonOk(out.str());
+  }
+  if (request.path == "/debug/result_cache") {
+    std::ostringstream out;
+    const ResultCache::Stats stats = result_cache_.GetStats();
+    out << "{\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
+        << ",\"evictions\":" << stats.evictions
+        << ",\"resident_bytes\":" << stats.resident_bytes << ",\"entries\":[";
+    bool first = true;
+    for (const ResultCache::EntryInfo& info : result_cache_.EntryInfos()) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"key\":\"" << KeyHashHex(info.key_hash)
+          << "\",\"resident_bytes\":" << info.resident_bytes
+          << ",\"hits\":" << info.hits
+          << ",\"equivalent\":" << (info.equivalent ? "true" : "false")
+          << ",\"differences\":" << info.differences << '}';
     }
     out << "]}\n";
     return JsonOk(out.str());

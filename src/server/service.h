@@ -8,6 +8,10 @@
 //   GET  /metrics                       cumulative daemon metrics, text
 //                                       (?format=prometheus for scrapers)
 //   POST /diff                          one-shot comparison (JSON body)
+//   POST /batch                         many named pairs in one request,
+//                                       responses merged in declaration
+//                                       order (byte-identical at any
+//                                       --http_threads/--threads)
 //   GET  /sessions                      list sessions (JSON)
 //   PUT  /sessions/<name>/running       upload the running config (raw text)
 //   PUT  /sessions/<name>/candidate     upload the candidate config
@@ -19,6 +23,7 @@
 //   GET  /debug/requests                flight recorder: last-N summaries
 //   GET  /debug/requests/<id>           one entry, with trace when retained
 //   GET  /debug/cache                   per-entry template-cache view
+//   GET  /debug/result_cache            per-entry result-cache view
 //   GET  /debug/sessions                session detail (sizes, vendors)
 //
 // Determinism contract: a /diff (or session diff) response body is the
@@ -53,6 +58,7 @@
 #include "obs/histogram.h"
 #include "server/flight_recorder.h"
 #include "server/http.h"
+#include "server/result_cache.h"
 #include "server/template_cache.h"
 
 namespace campion::server {
@@ -70,6 +76,13 @@ struct ServiceOptions {
   bool gc = true;
   std::size_t gc_watermark_bytes = 256 * 1024 * 1024;
   std::size_t cache_max_entries = 0;  // 0 = unlimited.
+  // Incremental result cache (src/server/result_cache.h): rendered pair
+  // responses keyed by the full canonical structure of both configs plus
+  // the diff-relevant options. Off = every request re-runs the pipeline
+  // (the bench_fleet A/B baseline and the parity reference).
+  bool result_cache = true;
+  std::size_t result_cache_watermark_bytes = 64 * 1024 * 1024;
+  std::size_t result_cache_max_entries = 0;  // 0 = unlimited.
   // Flight recorder (src/server/flight_recorder.h): ring of the last
   // `flight_recorder_entries` diff executions, span trees retained for the
   // `flight_recorder_spans` slowest. Off = record nothing (/debug/requests
@@ -87,6 +100,9 @@ class DiffService {
   HttpResponse Handle(const HttpRequest& request);
 
   TemplateCache::Stats CacheStats() const { return cache_.GetStats(); }
+  ResultCache::Stats ResultCacheStats() const {
+    return result_cache_.GetStats();
+  }
   const FlightRecorder& Recorder() const { return flight_; }
 
   // Wires the transport's keep-alive reuse counter into /metrics
@@ -116,6 +132,7 @@ class DiffService {
     obs::LatencyHistogram healthz;
     obs::LatencyHistogram metrics;
     obs::LatencyHistogram diff;      // POST /diff and session diffs.
+    obs::LatencyHistogram batch;     // POST /batch, whole-request wall.
     obs::LatencyHistogram sessions;  // Session CRUD (non-diff verbs).
     obs::LatencyHistogram debug;
     obs::LatencyHistogram other;     // 404s and anything unclassified.
@@ -130,14 +147,47 @@ class DiffService {
 
   HttpResponse Dispatch(const HttpRequest& request);
   HttpResponse HandleDiff(const HttpRequest& request);
+  HttpResponse HandleBatch(const HttpRequest& request);
   HttpResponse HandleMetrics(const HttpRequest& request);
   HttpResponse HandleSessions(const HttpRequest& request);
   HttpResponse HandleDebug(const HttpRequest& request);
 
-  // Parses, diffs, and renders one comparison with request-private
-  // observability capture (no cross-request lock). Returns the full
-  // response (including error responses for unparseable configs) and
-  // leaves one flight-recorder entry behind when the recorder is on.
+  // One comparison, described transport-free so /diff, session diffs, and
+  // every pair of a /batch share the execution path.
+  struct PairTask {
+    std::string endpoint;  // Flight-recorder label ("/diff", "/batch#a").
+    std::string text1;
+    std::string vendor1;
+    std::string text2;
+    std::string vendor2;
+    core::DiffOptions options;
+    bool json_format = false;
+    bool want_obs = false;  // Obs envelope; bypasses the result cache.
+  };
+  struct PairOutcome {
+    int status = 200;
+    std::string body;  // Report body (or obs envelope); error JSON on !ok.
+    std::string content_type;
+    bool equivalent = false;
+    std::size_t differences = 0;
+    std::string template_cache = "off";  // "hit", "miss", or "off"; on a
+                                         // result-cache hit, replayed from
+                                         // the run that computed the entry.
+    std::string result_cache = "off";    // "hit", "miss", "bypass", "off".
+    std::uint64_t result_key_hash = 0;   // FNV-1a of the result-cache key.
+    std::string error;                   // Non-empty when status != 200.
+  };
+
+  // Parses, diffs, and renders one comparison with task-private
+  // observability capture (no cross-request lock — safe to call
+  // concurrently from batch workers). Consults the result cache first
+  // (a hit skips template fetch, diff, and render), folds the task's
+  // metrics, and leaves one flight-recorder entry behind when the
+  // recorder is on.
+  PairOutcome ExecutePair(const PairTask& task);
+
+  // ExecutePair wrapped back into an HTTP response (headers + error
+  // passthrough) for the single-pair endpoints.
   HttpResponse RunDiff(const std::string& endpoint, const std::string& text1,
                        const std::string& vendor1, const std::string& text2,
                        const std::string& vendor2,
@@ -153,6 +203,7 @@ class DiffService {
 
   ServiceOptions options_;
   TemplateCache cache_;
+  ResultCache result_cache_;
   FlightRecorder flight_;
   EndpointLatency endpoint_latency_;
   PhaseLatency phase_latency_;

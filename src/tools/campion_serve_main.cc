@@ -16,6 +16,11 @@
 //                            (default on; reports byte-identical).
 //   --cache=on|off           Cross-request template cache (default on).
 //   --cache_entries=N        Max cached templates (0 = unlimited).
+//   --result_cache=on|off    Incremental result cache keyed by structural
+//                            fingerprints (default on).
+//   --result_cache_mb=N      Cached response bytes before LRU eviction
+//                            (default 64).
+//   --result_cache_entries=N Max cached results (0 = unlimited).
 //   --reorder=off|sift|group_sift  One-time template sift per cache entry
 //                            (default sift: the daemon amortizes it).
 //   --reorder_trigger_ratio=R  Pair-manager auto-sift trigger (min 1.1).
@@ -71,6 +76,16 @@ void PrintUsage(std::ostream& out) {
          "                  canonical structural keys (default on)\n"
          "  --cache_entries=N\n"
          "                  max cached templates (0 = unlimited)\n"
+         "  --result_cache=on|off\n"
+         "                  incremental result cache: rendered responses\n"
+         "                  keyed by the full canonical structure of both\n"
+         "                  configs, so re-diffing an unchanged pair is a\n"
+         "                  byte-identical replay (default on)\n"
+         "  --result_cache_mb=N\n"
+         "                  cached response bytes before least-recently-\n"
+         "                  used eviction (default 64)\n"
+         "  --result_cache_entries=N\n"
+         "                  max cached results (0 = unlimited)\n"
          "  --reorder=off|sift|group_sift\n"
          "                  one-time template sift per cache entry\n"
          "                  (default sift; the report is byte-identical\n"
@@ -176,6 +191,23 @@ bool ParseArgs(int argc, char** argv, Options* options, int* exit_code) {
         return false;
       }
       options->service.cache_max_entries = number;
+    } else if (arg.rfind("--result_cache=", 0) == 0) {
+      if (!ParseOnOff(value_of("--result_cache="), "--result_cache",
+                      &options->service.result_cache)) {
+        return false;
+      }
+    } else if (arg.rfind("--result_cache_mb=", 0) == 0) {
+      if (!ParseUnsigned(value_of("--result_cache_mb="), "--result_cache_mb",
+                         &number)) {
+        return false;
+      }
+      options->service.result_cache_watermark_bytes = number * 1024 * 1024;
+    } else if (arg.rfind("--result_cache_entries=", 0) == 0) {
+      if (!ParseUnsigned(value_of("--result_cache_entries="),
+                         "--result_cache_entries", &number)) {
+        return false;
+      }
+      options->service.result_cache_max_entries = number;
     } else if (arg.rfind("--reorder=", 0) == 0) {
       const std::string value = value_of("--reorder=");
       if (value == "off") {

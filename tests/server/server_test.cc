@@ -148,6 +148,10 @@ TEST_F(ServerCliParityTest, DiffBodyMatchesCliAtThreads1And4) {
     // The daemon's defaults differ from the CLI's (reorder=sift via
     // campion_serve) — assert parity under the daemon-like setup too.
     options.diff.reorder = core::DiffOptions::ReorderMode::kSift;
+    // This test exercises the TEMPLATE cache cold/warm; with the result
+    // cache on, the warm request would replay before touching it
+    // (result_cache_test covers that path).
+    options.result_cache = false;
     StartServer(options);
 
     int cli_exit = 0;
@@ -258,9 +262,13 @@ TEST_F(ServerTest, MetricsExposesCacheAndRequestCounters) {
   HttpClientResponse metrics = Fetch("GET", "/metrics");
   ASSERT_EQ(metrics.status, 200);
   EXPECT_NE(metrics.body.find("server.diff_requests 2"), std::string::npos);
-  EXPECT_NE(metrics.body.find("server.template_cache_hits 1"),
-            std::string::npos);
+  // The second identical request replays from the result cache before the
+  // template cache is consulted: one template miss, one result hit.
   EXPECT_NE(metrics.body.find("server.template_cache_misses 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("server.result_cache_hits 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("server.result_cache_misses 1"),
             std::string::npos);
   // Per-request obs metrics folded into the daemon totals.
   EXPECT_NE(metrics.body.find("diff.route_map_pairs"), std::string::npos);
@@ -308,6 +316,9 @@ TEST_F(ServerTest, ObsEnvelopeCarriesSpansAndMetrics) {
 TEST_F(ServerCliParityTest, ConcurrentDiffRequestsMatchCliByteParity) {
   ServiceOptions options;
   options.diff.num_threads = 2;  // Fan out inside requests too.
+  // Template-dedup assertions below need every request to actually reach
+  // the template cache; a result-cache replay would make the counts racy.
+  options.result_cache = false;
   StartServer(options);
 
   int cli_exit = 0;
@@ -442,7 +453,12 @@ TEST_F(ServerTest, PlainMetricsExposeLatencyQuantiles) {
 }
 
 TEST_F(ServerTest, DebugRequestsExposeFlightRecorderRing) {
-  StartServer(ServiceOptions{});
+  ServiceOptions options;
+  // Both requests must run the full pipeline so both records carry phase
+  // timings and a template disposition (the replay path is covered by
+  // result_cache_test's FlightRecorderReplaysStoredDisposition).
+  options.result_cache = false;
+  StartServer(options);
   const std::string body =
       DiffRequestBody(testing::kFig1Cisco, testing::kFig1Juniper);
   ASSERT_EQ(Fetch("POST", "/diff", body).status, 200);
@@ -485,7 +501,9 @@ TEST_F(ServerTest, DebugRequestsExposeFlightRecorderRing) {
 }
 
 TEST_F(ServerTest, DebugCacheAndSessionsViews) {
-  StartServer(ServiceOptions{});
+  ServiceOptions options;
+  options.result_cache = false;  // Both diffs must reach the template cache.
+  StartServer(options);
   const std::string body =
       DiffRequestBody(testing::kFig1Cisco, testing::kFig1Juniper);
   ASSERT_EQ(Fetch("POST", "/diff", body).status, 200);
@@ -534,6 +552,10 @@ TEST_F(ServerTest, FlightRecorderMemoryStaysBoundedOver200Requests) {
   ServiceOptions options;
   options.flight_recorder_entries = 16;
   options.flight_recorder_spans = 4;
+  // The slowest-K assertion needs the repeated requests to actually run
+  // the pipeline; with the result cache on, replays would be uniformly
+  // fast and the final full diff would not rank.
+  options.result_cache = false;
   StartServer(options);
   // Cheap diff executions (static routes only: no BDD work) still flow
   // through the recorder; a couple of full ones salt the slowest-K pool.
