@@ -35,6 +35,7 @@ run bench_full_pipeline
 run bench_reorder
 run bench_serve
 run bench_fleet
+run bench_scalability_acl
 
 # Trace capture: one serial run of the committed university-core pair.
 # --threads=1 plus the deterministic trace structure make the file
@@ -106,6 +107,28 @@ echo "stdout parity: OK (report byte-identical with reordering off and on)"
 "$BUILD_DIR/src/tools/campion_trace_diff" \
     "$AB_DIR/trace_reorder_off.json" "$AB_DIR/trace_reorder_sift.json" || true
 
+# Dual-stack (IPv6) parity on the committed dual-stack edge pair: 128-bit
+# symbolic address fields run through the same pipeline, so the same
+# threads/template invariants must hold there.
+echo
+echo "--- dual-stack parity (threads x template) ---"
+run_v6() {
+  local threads="$1" tmpl="$2"
+  "$BUILD_DIR/src/tools/campion" --threads="$threads" \
+      --encoding_template="$tmpl" \
+      examples/configs/dualstack_edge_cisco.cfg \
+      examples/configs/dualstack_edge_juniper.conf \
+      > "$AB_DIR/report_v6_${threads}_${tmpl}.txt" || test $? -eq 2
+}
+run_v6 1 on
+run_v6 4 on
+run_v6 1 off
+run_v6 4 off
+cmp "$AB_DIR/report_v6_1_on.txt" "$AB_DIR/report_v6_4_on.txt"
+cmp "$AB_DIR/report_v6_1_on.txt" "$AB_DIR/report_v6_1_off.txt"
+cmp "$AB_DIR/report_v6_1_on.txt" "$AB_DIR/report_v6_4_off.txt"
+echo "stdout parity: OK (dual-stack report byte-identical at 1/4 threads, template off/on)"
+
 echo
 echo "Wrote BENCH_bdd.json, BENCH_full_pipeline.json, BENCH_reorder.json," \
-     "BENCH_serve.json, BENCH_fleet.json, and $TRACE"
+     "BENCH_serve.json, BENCH_fleet.json, BENCH_scalability_acl.json, and $TRACE"

@@ -45,8 +45,9 @@ std::optional<Protocol> ParseProtocolName(const std::string& token) {
 }
 
 std::optional<std::uint8_t> ParseIpProtocol(const std::string& token) {
-  if (token == "ip") return std::nullopt;  // Any protocol.
+  if (token == "ip" || token == "ipv6") return std::nullopt;  // Any protocol.
   if (token == "icmp") return ir::kProtoIcmp;
+  if (token == "icmpv6") return ir::kProtoIcmpv6;
   if (token == "tcp") return ir::kProtoTcp;
   if (token == "udp") return ir::kProtoUdp;
   if (token == "ospf") return ir::kProtoOspf;
@@ -142,7 +143,21 @@ class Parser {
     } else if (t[0] == "ip" && t.size() >= 2 && t[1] == "route") {
       ParseStaticRoute(t, raw);
     } else if (t[0] == "ip" && t.size() >= 2 && t[1] == "prefix-list") {
-      ParsePrefixListLine(t, raw);
+      ParsePrefixListLine(t, raw, util::AddressFamily::kIpv4);
+    } else if (t[0] == "ipv6" && t.size() >= 2 && t[1] == "prefix-list") {
+      ParsePrefixListLine(t, raw, util::AddressFamily::kIpv6);
+    } else if (t[0] == "ipv6" && t.size() >= 3 && t[1] == "access-list") {
+      // IOS IPv6 ACLs are always named (no standard/extended keyword).
+      current_acl_ = t[2];
+      current_acl_standard_ = false;
+      current_acl_family_ = util::AddressFamily::kIpv6;
+      auto [it, inserted] = config().acls.try_emplace(current_acl_);
+      if (inserted) {
+        it->second.name = current_acl_;
+        it->second.family = util::AddressFamily::kIpv6;
+        it->second.span = Span(raw);
+      }
+      mode_ = Mode::kAcl;
     } else if (t[0] == "ip" && t.size() >= 3 && t[1] == "community-list") {
       ParseCommunityListLine(t, raw);
     } else if (t[0] == "ip" && t.size() >= 5 && t[1] == "as-path" &&
@@ -152,6 +167,7 @@ class Parser {
                (t[2] == "extended" || t[2] == "standard")) {
       current_acl_ = t[3];
       current_acl_standard_ = t[2] == "standard";
+      current_acl_family_ = util::AddressFamily::kIpv4;
       auto [it, inserted] = config().acls.try_emplace(current_acl_);
       if (inserted) {
         it->second.name = current_acl_;
@@ -165,6 +181,7 @@ class Parser {
       auto number = ParseNumber(t[1]);
       current_acl_standard_ =
           number && (*number < 100 || (*number >= 1300 && *number < 2000));
+      current_acl_family_ = util::AddressFamily::kIpv4;
       auto [it, inserted] = config().acls.try_emplace(current_acl_);
       if (inserted) {
         it->second.name = current_acl_;
@@ -191,6 +208,8 @@ class Parser {
         if (auto asn = ParseNumber(t[2])) config().bgp->asn = *asn;
       }
       mode_ = Mode::kRouterBgp;
+    } else if (t[0] == "ipv6" && t.size() >= 2 && t[1] == "unicast-routing") {
+      // Enables v6 forwarding; no behavioral content for diffing.
     } else if (t[0] == "end" || t[0] == "exit" || t[0] == "version" ||
                t[0] == "no" || t[0] == "boot" || t[0] == "service" ||
                t[0] == "enable" || t[0] == "line" || t[0] == "logging" ||
@@ -306,8 +325,10 @@ class Parser {
   // --- prefix lists -----------------------------------------------------------
 
   void ParsePrefixListLine(const std::vector<std::string>& t,
-                           const std::string& raw) {
-    // ip prefix-list NAME [seq N] permit|deny P/L [ge X] [le Y]
+                           const std::string& raw,
+                           util::AddressFamily family) {
+    // ip|ipv6 prefix-list NAME [seq N] permit|deny P/L [ge X] [le Y]
+    const int max_len = util::MaxPrefixLength(family);
     std::size_t i = 2;
     if (i >= t.size()) return Diagnose("short prefix-list: " + raw);
     std::string name = t[i++];
@@ -323,7 +344,13 @@ class Parser {
     }
     ++i;
     if (i >= t.size()) return Diagnose("missing prefix: " + raw);
-    auto prefix = Prefix::Parse(t[i++]);
+    std::optional<util::IpPrefix> prefix;
+    if (family == util::AddressFamily::kIpv4) {
+      if (auto p = Prefix::Parse(t[i])) prefix = util::IpPrefix(*p);
+    } else {
+      if (auto p = util::Prefix6::Parse(t[i])) prefix = util::IpPrefix(*p);
+    }
+    ++i;
     if (!prefix) return Diagnose("bad prefix: " + raw);
     int low = prefix->length();
     int high = prefix->length();
@@ -331,7 +358,7 @@ class Parser {
       if (t[i] == "ge") {
         if (auto ge = ParseNumber(t[i + 1])) {
           low = static_cast<int>(*ge);
-          if (high < low) high = 32;  // "ge" alone implies up to /32.
+          if (high < low) high = max_len;  // "ge" alone implies family max.
         }
         i += 2;
       } else if (t[i] == "le") {
@@ -345,7 +372,13 @@ class Parser {
     auto [it, inserted] = config().prefix_lists.try_emplace(name);
     if (inserted) {
       it->second.name = name;
+      it->second.family = family;
       it->second.span = Span(raw);
+    } else if (it->second.family != family) {
+      // Both vendors keep the v4 and v6 prefix-list namespaces separate;
+      // the shared-name collision cannot be represented in the IR.
+      return Diagnose("prefix-list " + name +
+                      " redeclared with a different address family: " + raw);
     }
     it->second.entries.push_back(
         {action, util::PrefixRange(*prefix, low, high), Span(raw)});
@@ -469,7 +502,10 @@ class Parser {
                           ir::RouteMapClause& clause) {
     ir::RouteMapMatch match;
     match.span = Span(raw);
-    if (t.size() >= 3 && t[1] == "ip" && t[2] == "address") {
+    if (t.size() >= 3 && (t[1] == "ip" || t[1] == "ipv6") &&
+        t[2] == "address") {
+      // v4 and v6 lists resolve through the same name table; the referenced
+      // list's declared family decides the pair's advertisement space.
       match.kind = ir::RouteMapMatch::Kind::kPrefixList;
       std::size_t i = 3;
       if (i < t.size() && t[i] == "prefix-list") ++i;
@@ -734,13 +770,33 @@ class Parser {
 
   // --- ACLs ----------------------------------------------------------------------
 
-  // Parses an address spec starting at t[i]; advances i.
+  // Parses an address spec starting at t[i]; advances i. IPv4 ACLs accept
+  // any | host A | A WILDCARD | A; IPv6 ACLs (prefix-shaped in IOS syntax)
+  // accept any | host A6 | P6/LEN | A6.
   std::optional<IpWildcard> ParseAddressSpec(const std::vector<std::string>& t,
-                                             std::size_t& i) {
+                                             std::size_t& i,
+                                             util::AddressFamily family) {
     if (i >= t.size()) return std::nullopt;
     if (t[i] == "any") {
       ++i;
-      return IpWildcard::Any();
+      return IpWildcard::AnyOf(family);
+    }
+    if (family == util::AddressFamily::kIpv6) {
+      if (t[i] == "host") {
+        if (i + 1 >= t.size()) return std::nullopt;
+        auto ip = util::Ipv6Address::Parse(t[i + 1]);
+        if (!ip) return std::nullopt;
+        i += 2;
+        return IpWildcard(*ip);
+      }
+      if (auto prefix = util::Prefix6::Parse(t[i])) {
+        ++i;
+        return IpWildcard(*prefix);
+      }
+      auto addr = util::Ipv6Address::Parse(t[i]);
+      if (!addr) return std::nullopt;
+      ++i;
+      return IpWildcard(*addr);  // Bare address: host match.
     }
     if (t[i] == "host") {
       if (i + 1 >= t.size()) return std::nullopt;
@@ -818,11 +874,13 @@ class Parser {
       return Diagnose("bad acl action: " + raw);
     }
     ++i;
+    const util::AddressFamily family = current_acl_family_;
     if (current_acl_standard_) {
       // Standard ACLs match on source address only.
-      auto src = ParseAddressSpec(t, i);
+      auto src = ParseAddressSpec(t, i, family);
       if (!src) return Diagnose("bad standard acl source: " + raw);
       line.src = *src;
+      line.dst = IpWildcard::AnyOf(family);
       config().acls[current_acl_].lines.push_back(std::move(line));
       return;
     }
@@ -830,19 +888,21 @@ class Parser {
     std::string protocol_token = t[i];
     if (protocol_token == "ipv4") protocol_token = "ip";  // IOS XR spelling.
     line.protocol = ParseIpProtocol(protocol_token);
-    if (!line.protocol && protocol_token != "ip") {
+    if (!line.protocol && protocol_token != "ip" && protocol_token != "ipv6") {
       return Diagnose("bad acl protocol: " + raw);
     }
     ++i;
-    auto src = ParseAddressSpec(t, i);
+    auto src = ParseAddressSpec(t, i, family);
     if (!src) return Diagnose("bad acl source: " + raw);
     line.src = *src;
     line.src_ports = ParsePortSpec(t, i);
-    auto dst = ParseAddressSpec(t, i);
+    auto dst = ParseAddressSpec(t, i, family);
     if (!dst) return Diagnose("bad acl destination: " + raw);
     line.dst = *dst;
     line.dst_ports = ParsePortSpec(t, i);
-    if (line.protocol == ir::kProtoIcmp && i < t.size()) {
+    if ((line.protocol == ir::kProtoIcmp ||
+         line.protocol == ir::kProtoIcmpv6) &&
+        i < t.size()) {
       if (auto type = ParseNumber(t[i]); type && *type <= 255) {
         line.icmp_type = static_cast<std::uint8_t>(*type);
       } else if (t[i] == "echo") {
@@ -885,6 +945,7 @@ class Parser {
   std::string current_route_map_;
   std::string current_acl_;
   bool current_acl_standard_ = false;
+  util::AddressFamily current_acl_family_ = util::AddressFamily::kIpv4;
   std::vector<std::pair<IpWildcard, std::uint32_t>> ospf_networks_;
   std::vector<std::string> passive_interfaces_;
   std::map<std::string, ir::BgpNeighbor> peer_groups_;

@@ -11,6 +11,16 @@ std::string MaskString(int length) {
 
 std::string WildcardString(const util::IpWildcard& w) {
   if (w.IsAny()) return "any";
+  if (w.family() == util::AddressFamily::kIpv6) {
+    // IOS v6 ACL address specs are prefix-shaped: host A6 or P6/LEN.
+    if (w.wildcard_wide() == util::U128()) {
+      return "host " + util::Ipv6Address(w.address_wide()).ToString();
+    }
+    if (auto prefix = w.AsIpPrefix()) return prefix->ToString();
+    // Non-contiguous v6 wildcards are inexpressible in IOS syntax; emit the
+    // nearest prefix over the cared-about leading bits.
+    return util::Ipv6Address(w.address_wide()).ToString() + "/128";
+  }
   if (w.wildcard_bits() == 0) return "host " + w.address().ToString();
   return w.address().ToString() + " " +
          util::Ipv4Address(w.wildcard_bits()).ToString();
@@ -29,14 +39,17 @@ std::string PortSpecString(const std::vector<ir::PortRange>& ports) {
 }  // namespace
 
 std::string UnparsePrefixList(const ir::PrefixList& list) {
+  const bool v6 = list.family == util::AddressFamily::kIpv6;
+  const int max_len = util::MaxPrefixLength(list.family);
   std::string out;
   int seq = 5;
   for (const auto& entry : list.entries) {
-    out += "ip prefix-list " + list.name + " seq " + std::to_string(seq) +
-           " " + ir::ToString(entry.action) + " " +
-           entry.range.prefix().ToString();
-    // IOS length-window semantics: "ge X" alone means [X, 32], "le Y" alone
-    // means [base, Y], both together mean [X, Y], neither means exact.
+    out += std::string(v6 ? "ipv6" : "ip") + " prefix-list " + list.name +
+           " seq " + std::to_string(seq) + " " + ir::ToString(entry.action) +
+           " " + entry.range.prefix().ToString();
+    // IOS length-window semantics: "ge X" alone means [X, family max],
+    // "le Y" alone means [base, Y], both together mean [X, Y], neither
+    // means exact.
     int base = entry.range.prefix().length();
     int low = entry.range.low();
     int high = entry.range.high();
@@ -44,7 +57,7 @@ std::string UnparsePrefixList(const ir::PrefixList& list) {
       // Exact match: no modifier.
     } else if (low == base) {
       out += " le " + std::to_string(high);
-    } else if (high == 32) {
+    } else if (high == max_len) {
       out += " ge " + std::to_string(low);
     } else {
       out += " ge " + std::to_string(low) + " le " + std::to_string(high);
@@ -155,10 +168,13 @@ std::string UnparseRouteMap(const ir::RouteMap& map) {
 }
 
 std::string UnparseAcl(const ir::Acl& acl) {
-  std::string out = "ip access-list extended " + acl.name + "\n";
+  const bool v6 = acl.family == util::AddressFamily::kIpv6;
+  std::string out = v6 ? "ipv6 access-list " + acl.name + "\n"
+                       : "ip access-list extended " + acl.name + "\n";
   for (const auto& line : acl.lines) {
     out += " " + ir::ToString(line.action) + " ";
-    out += line.protocol ? ir::ProtocolNumberToString(*line.protocol) : "ip";
+    out += line.protocol ? ir::ProtocolNumberToString(*line.protocol)
+                         : (v6 ? "ipv6" : "ip");
     out += " " + WildcardString(line.src) + PortSpecString(line.src_ports);
     out += " " + WildcardString(line.dst) + PortSpecString(line.dst_ports);
     if (line.icmp_type) out += " " + std::to_string(*line.icmp_type);

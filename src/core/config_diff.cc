@@ -63,6 +63,27 @@ const ir::RouteMap* ResolveMap(const ir::RouterConfig& config,
   return map;
 }
 
+// The address family a route-map pair's advertisement space uses: IPv6 iff
+// either map matches on an IPv6 prefix list. (Both vendors keep v4 and v6
+// policy in separate namespaces/terms; a map whose prefix matches are all
+// v4 — or that matches no prefixes at all — diffs over the v4 space,
+// byte-identical to the pre-dual-stack behavior.)
+util::AddressFamily RouteMapPairFamily(const ir::RouterConfig& config,
+                                       const ir::RouteMap& map) {
+  for (const auto& clause : map.clauses) {
+    for (const auto& match : clause.matches) {
+      if (match.kind != ir::RouteMapMatch::Kind::kPrefixList) continue;
+      for (const auto& name : match.names) {
+        const ir::PrefixList* list = config.FindPrefixList(name);
+        if (list != nullptr && list->family == util::AddressFamily::kIpv6) {
+          return util::AddressFamily::kIpv6;
+        }
+      }
+    }
+  }
+  return util::AddressFamily::kIpv4;
+}
+
 // Maps the driver-level reorder option onto a kernel sift mode; nullopt =
 // reordering off.
 std::optional<bdd::SiftMode> SiftModeFor(DiffOptions::ReorderMode mode) {
@@ -98,6 +119,15 @@ std::vector<PresentedDifference> DiffRouteMapPairImpl(
   obs::ScopedSpan span("route_map_pair",
                        map1->name + " vs " + map2->name);
 
+  // An IPv6 pair diffs over the 128-bit advertisement space. The shared
+  // template's layouts are IPv4, so v6 pairs build from scratch — template
+  // on and off are trivially identical for them.
+  util::AddressFamily family = RouteMapPairFamily(config1, *map1);
+  if (family == util::AddressFamily::kIpv4) {
+    family = RouteMapPairFamily(config2, *map2);
+  }
+  if (family != util::AddressFamily::kIpv4) tmpl = nullptr;
+
   // One manager per pair keeps arenas small and lifetimes obvious. With a
   // template, the manager starts as a snapshot of the shared arena (same
   // variable order, common list BDDs pre-built) instead of empty; either
@@ -111,7 +141,7 @@ std::vector<PresentedDifference> DiffRouteMapPairImpl(
     std::vector<util::Community> communities = config1.AllCommunities();
     auto more = config2.AllCommunities();
     communities.insert(communities.end(), more.begin(), more.end());
-    layout.emplace(mgr, std::move(communities));
+    layout.emplace(mgr, std::move(communities), family);
   }
   ArmAutoSift(mgr, options);
 
@@ -136,15 +166,21 @@ std::vector<PresentedDifference> DiffAclPairImpl(
   const ir::Acl* acl1 = config1.FindAcl(name);
   const ir::Acl* acl2 = config2.FindAcl(name);
   if (acl1 == nullptr || acl2 == nullptr) return {};
+  // Family mismatches are reported as unmatched components by
+  // MatchPolicies; a pair reaching here shares one family.
+  if (acl1->family != acl2->family) return {};
   obs::ScopedSpan span("acl_pair", name);
 
+  // IPv6 ACLs diff over the 256-bit-address packet space; the shared
+  // template's packet layout is IPv4, so v6 pairs build from scratch.
+  if (acl1->family != util::AddressFamily::kIpv4) tmpl = nullptr;
   bdd::BddManager mgr;
   std::optional<encode::PacketLayout> layout;
   if (tmpl != nullptr) {
     mgr.SeedFrom(tmpl->packet_manager());
     layout.emplace(mgr, tmpl->packet_layout());
   } else {
-    layout.emplace(mgr);
+    layout.emplace(mgr, acl1->family);
   }
   ArmAutoSift(mgr, options);
   std::vector<AclDifference> diffs =

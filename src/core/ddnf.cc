@@ -6,11 +6,11 @@
 namespace campion::core {
 namespace {
 
-// Clamps the length window to the feasible [base length, 32] band so that
-// semantically equal ranges have equal representations.
+// Clamps the length window to the feasible [base length, family max] band so
+// that semantically equal ranges have equal representations.
 util::PrefixRange Normalize(const util::PrefixRange& r) {
   int low = std::max(r.low(), r.prefix().length());
-  int high = std::min(r.high(), 32);
+  int high = std::min(r.high(), util::MaxPrefixLength(r.family()));
   return util::PrefixRange(r.prefix(), low, high);
 }
 

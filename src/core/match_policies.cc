@@ -49,7 +49,17 @@ void MatchBgpNeighbors(const ir::RouterConfig& config1,
 void MatchAcls(const ir::RouterConfig& config1,
                const ir::RouterConfig& config2, PolicyPairing& pairing) {
   for (const auto& [name, acl] : config1.acls) {
-    if (config2.acls.contains(name)) {
+    if (auto it = config2.acls.find(name); it != config2.acls.end()) {
+      if (acl.family != it->second.family) {
+        pairing.unmatched.push_back(
+            "ACL " + name + " is " +
+            (acl.family == util::AddressFamily::kIpv4 ? "IPv4" : "IPv6") +
+            " in " + config1.hostname + " but " +
+            (it->second.family == util::AddressFamily::kIpv4 ? "IPv4"
+                                                             : "IPv6") +
+            " in " + config2.hostname + "; not compared");
+        continue;
+      }
       pairing.acls.push_back({name});
     } else {
       pairing.unmatched.push_back("ACL " + name + " exists only in " +

@@ -17,17 +17,21 @@ std::string RangesToCell(const std::vector<util::PrefixRange>& ranges) {
   return out;
 }
 
-// The universe of destination addresses as a prefix range: every /32.
-util::PrefixRange AddressUniverse() {
-  return util::PrefixRange(util::Prefix(util::Ipv4Address(0), 0), 32, 32);
+// The universe of destination addresses as a prefix range: every host
+// prefix (/32 for IPv4, /128 for IPv6).
+util::PrefixRange AddressUniverse(util::AddressFamily family) {
+  const int width = util::AddressWidth(family);
+  return util::PrefixRange(util::IpPrefix(family, util::U128(), 0), width,
+                           width);
 }
 
 std::vector<util::PrefixRange> AclRanges(const ir::Acl& acl, bool dst) {
+  const int width = util::AddressWidth(acl.family);
   std::vector<util::PrefixRange> ranges;
   for (const auto& line : acl.lines) {
     const util::IpWildcard& w = dst ? line.dst : line.src;
-    if (auto prefix = w.AsPrefix()) {
-      ranges.emplace_back(*prefix, 32, 32);
+    if (auto prefix = w.AsIpPrefix()) {
+      ranges.emplace_back(*prefix, width, width);
     }
   }
   return ranges;
@@ -58,9 +62,15 @@ PresentedDifference PresentRouteMapDifference(
   std::vector<util::PrefixRange> ranges = config1.AllPrefixRanges();
   auto ranges2 = config2.AllPrefixRanges();
   ranges.insert(ranges.end(), ranges2.begin(), ranges2.end());
+  // Range constants of the other family match nothing on this layout; the
+  // DAG drops them (they have no intersection with the universe).
+  std::erase_if(ranges, [&](const util::PrefixRange& r) {
+    return r.family() != layout.family();
+  });
   HeaderLocalizeResult localized = HeaderLocalize(
       mgr, prefix_set, std::move(ranges),
-      [&](const util::PrefixRange& r) { return layout.MatchPrefixRange(r); });
+      [&](const util::PrefixRange& r) { return layout.MatchPrefixRange(r); },
+      util::PrefixRange::UniverseOf(layout.family()));
   out.included = localized.IncludedRanges();
   out.excluded = localized.ExcludedRanges();
 
@@ -128,7 +138,7 @@ PresentedDifference PresentAclDifference(encode::PacketLayout& layout,
     quantified.flip();
     bdd::BddRef projected = mgr.Exists(diff.input_set, quantified);
     return HeaderLocalize(mgr, projected, std::move(ranges), range_to_bdd,
-                          AddressUniverse());
+                          AddressUniverse(layout.family()));
   };
 
   std::vector<util::PrefixRange> dst_ranges = AclDstRanges(acl1);

@@ -14,13 +14,40 @@ void AppendU32(std::string& out, std::uint32_t value) {
   out += ',';
 }
 
+// 128-bit values (IPv6 addresses) keyed limb-wise. IPv4 keys keep their
+// original single-limb form so v4 keys are byte-identical to pre-dual-stack
+// builds; the family-specific key prefixes ("pl6:", "al6:") keep the two
+// families from ever colliding.
+void AppendU128(std::string& out, util::U128 value) {
+  out += std::to_string(value.hi());
+  out += ':';
+  out += std::to_string(value.lo());
+  out += ',';
+}
+
+void AppendWildcard(std::string& out, const util::IpWildcard& w) {
+  if (w.family() == util::AddressFamily::kIpv4) {
+    AppendU32(out, w.address().bits());
+    AppendU32(out, w.wildcard_bits());
+  } else {
+    AppendU128(out, w.address_wide());
+    AppendU128(out, w.wildcard_wide());
+  }
+}
+
 }  // namespace
 
 std::string PrefixListKey(const ir::PrefixList& list) {
-  std::string key = "pl:";
+  const bool v6 = list.family == util::AddressFamily::kIpv6;
+  std::string key = v6 ? "pl6:" : "pl:";
   for (const auto& entry : list.entries) {
     key += entry.action == ir::LineAction::kPermit ? 'p' : 'd';
-    AppendU32(key, entry.range.prefix().address().bits());
+    if (v6) {
+      AppendU128(key, entry.range.prefix().address().bits());
+    } else {
+      AppendU32(key, static_cast<std::uint32_t>(
+                         entry.range.prefix().address().bits().lo()));
+    }
     AppendU32(key, static_cast<std::uint32_t>(entry.range.prefix().length()));
     AppendU32(key, static_cast<std::uint32_t>(entry.range.low()));
     AppendU32(key, static_cast<std::uint32_t>(entry.range.high()));
@@ -47,12 +74,12 @@ std::string CommunityListKey(const ir::CommunityList& list) {
 std::string AclLineMatchKey(const ir::AclLine& line) {
   // The line's action is excluded: the match predicate is the same for a
   // permit and a deny over the same header fields.
-  std::string key = "al:";
+  const bool v6 = line.src.family() == util::AddressFamily::kIpv6 ||
+                  line.dst.family() == util::AddressFamily::kIpv6;
+  std::string key = v6 ? "al6:" : "al:";
   AppendU32(key, line.protocol ? std::uint32_t{*line.protocol} + 1 : 0);
-  AppendU32(key, line.src.address().bits());
-  AppendU32(key, line.src.wildcard_bits());
-  AppendU32(key, line.dst.address().bits());
-  AppendU32(key, line.dst.wildcard_bits());
+  AppendWildcard(key, line.src);
+  AppendWildcard(key, line.dst);
   key += 's';
   for (const auto& r : line.src_ports) {
     AppendU32(key, r.low);
@@ -85,6 +112,9 @@ EncodingTemplate::EncodingTemplate(const ir::RouterConfig& config1,
       // list-to-BDD compilation loops (shared with the per-pair path).
       PolicyEncoder encoder(*route_layout_, *config);
       for (const auto& [name, list] : config->prefix_lists) {
+        // The template's layouts are IPv4; IPv6 objects are encoded
+        // per-pair on a v6 layout (v6 pairs bypass the template entirely).
+        if (list.family != util::AddressFamily::kIpv4) continue;
         auto [it, inserted] =
             prefix_lists_.try_emplace(PrefixListKey(list), bdd::kFalse);
         if (inserted) it->second = encoder.PrefixListPermits(list);
@@ -123,6 +153,7 @@ EncodingTemplate::EncodingTemplate(const ir::RouterConfig& config1,
     packet_layout_.emplace(packet_mgr_);
     for (const ir::RouterConfig* config : {&config1, &config2}) {
       for (const auto& [name, acl] : config->acls) {
+        if (acl.family != util::AddressFamily::kIpv4) continue;
         // Witness chain: the first-match classes BuildAclClasses derives
         // per pair (`here = remaining ∧ match`, `remaining \ here`, permit
         // union). Interning makes the second config's identical ACLs free.

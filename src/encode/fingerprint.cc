@@ -193,6 +193,10 @@ std::string ConfigCanonicalKey(const ir::RouterConfig& config) {
   key += "acls[";
   for (const auto& [name, acl] : config.acls) {
     Str(key, name);
+    // Emitted only for IPv6 so IPv4 canonical keys stay byte-identical to
+    // pre-dual-stack builds (the per-line AclLineMatchKey is family-tagged,
+    // but a line-less v6 ACL must still differ from its v4 twin).
+    if (acl.family == util::AddressFamily::kIpv6) key += "f6";
     Span(key, acl.span);
     for (const auto& line : acl.lines) {
       // AclLineMatchKey covers every match field but deliberately not the

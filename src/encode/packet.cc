@@ -3,39 +3,41 @@
 namespace campion::encode {
 
 namespace {
-constexpr int kIpWidth = 32;
 constexpr int kProtoWidth = 8;
 constexpr int kPortWidth = 16;
 constexpr int kIcmpWidth = 8;
 }  // namespace
 
-PacketLayout::PacketLayout(bdd::BddManager& mgr) : mgr_(mgr) {
-  bdd::Var first = mgr_.AddVars(2 * kIpWidth + kProtoWidth + 2 * kPortWidth +
+PacketLayout::PacketLayout(bdd::BddManager& mgr, util::AddressFamily family)
+    : mgr_(mgr), family_(family) {
+  const int ip_width = util::AddressWidth(family);
+  bdd::Var first = mgr_.AddVars(2 * ip_width + kProtoWidth + 2 * kPortWidth +
                                 kIcmpWidth + 1);
-  src_ip_ = SymbolicField(first, kIpWidth);
-  dst_ip_ = SymbolicField(first + kIpWidth, kIpWidth);
-  protocol_ = SymbolicField(first + 2 * kIpWidth, kProtoWidth);
-  src_port_ = SymbolicField(first + 2 * kIpWidth + kProtoWidth, kPortWidth);
-  dst_port_ = SymbolicField(first + 2 * kIpWidth + kProtoWidth + kPortWidth,
+  src_ip_ = SymbolicField(first, ip_width);
+  dst_ip_ = SymbolicField(first + ip_width, ip_width);
+  protocol_ = SymbolicField(first + 2 * ip_width, kProtoWidth);
+  src_port_ = SymbolicField(first + 2 * ip_width + kProtoWidth, kPortWidth);
+  dst_port_ = SymbolicField(first + 2 * ip_width + kProtoWidth + kPortWidth,
                             kPortWidth);
   icmp_type_ = SymbolicField(
-      first + 2 * kIpWidth + kProtoWidth + 2 * kPortWidth, kIcmpWidth);
+      first + 2 * ip_width + kProtoWidth + 2 * kPortWidth, kIcmpWidth);
   established_var_ =
-      first + 2 * kIpWidth + kProtoWidth + 2 * kPortWidth + kIcmpWidth;
+      first + 2 * ip_width + kProtoWidth + 2 * kPortWidth + kIcmpWidth;
   // Each multi-bit field is an indivisible block for group sifting (the
   // established bit stands alone).
-  mgr_.DeclareVarBlock(first, kIpWidth);
-  mgr_.DeclareVarBlock(first + kIpWidth, kIpWidth);
-  mgr_.DeclareVarBlock(first + 2 * kIpWidth, kProtoWidth);
-  mgr_.DeclareVarBlock(first + 2 * kIpWidth + kProtoWidth, kPortWidth);
-  mgr_.DeclareVarBlock(first + 2 * kIpWidth + kProtoWidth + kPortWidth,
+  mgr_.DeclareVarBlock(first, ip_width);
+  mgr_.DeclareVarBlock(first + ip_width, ip_width);
+  mgr_.DeclareVarBlock(first + 2 * ip_width, kProtoWidth);
+  mgr_.DeclareVarBlock(first + 2 * ip_width + kProtoWidth, kPortWidth);
+  mgr_.DeclareVarBlock(first + 2 * ip_width + kProtoWidth + kPortWidth,
                        kPortWidth);
-  mgr_.DeclareVarBlock(first + 2 * kIpWidth + kProtoWidth + 2 * kPortWidth,
+  mgr_.DeclareVarBlock(first + 2 * ip_width + kProtoWidth + 2 * kPortWidth,
                        kIcmpWidth);
 }
 
 PacketLayout::PacketLayout(bdd::BddManager& mgr, const PacketLayout& proto)
     : mgr_(mgr),
+      family_(proto.family_),
       src_ip_(proto.src_ip_),
       dst_ip_(proto.dst_ip_),
       protocol_(proto.protocol_),
@@ -46,7 +48,13 @@ PacketLayout::PacketLayout(bdd::BddManager& mgr, const PacketLayout& proto)
 
 bdd::BddRef PacketLayout::MatchWildcard(const SymbolicField& field,
                                         const util::IpWildcard& w) const {
-  return field.MatchMasked(mgr_, w.address().bits(), ~w.wildcard_bits());
+  const int width = field.width();
+  // Left-aligned in the field: the wildcard's bits are right-aligned in
+  // AddressWidth(family) == width bits, so they line up directly; care is
+  // the complement of the wildcard within the field width.
+  util::U128 care = util::U128::Ones(width) ^
+                    (w.wildcard_wide() & util::U128::Ones(width));
+  return field.MatchMasked(mgr_, w.address_wide(), care);
 }
 
 bdd::BddRef PacketLayout::MatchSrc(const util::IpWildcard& w) const {
@@ -57,11 +65,11 @@ bdd::BddRef PacketLayout::MatchDst(const util::IpWildcard& w) const {
   return MatchWildcard(dst_ip_, w);
 }
 
-bdd::BddRef PacketLayout::MatchDstPrefix(const util::Prefix& p) const {
+bdd::BddRef PacketLayout::MatchDstPrefix(const util::IpPrefix& p) const {
   return dst_ip_.MatchPrefixBits(mgr_, p.address().bits(), p.length());
 }
 
-bdd::BddRef PacketLayout::MatchSrcPrefix(const util::Prefix& p) const {
+bdd::BddRef PacketLayout::MatchSrcPrefix(const util::IpPrefix& p) const {
   return src_ip_.MatchPrefixBits(mgr_, p.address().bits(), p.length());
 }
 
@@ -137,8 +145,8 @@ std::vector<ir::PortRange> FieldRanges(bdd::BddManager& mgr,
   bdd::BddRef projected = mgr.Exists(set, keep_mask);
   std::vector<ir::PortRange> ranges;
   for (const auto& interval : field.Intervals(mgr, projected)) {
-    ranges.push_back({static_cast<std::uint16_t>(interval.low),
-                      static_cast<std::uint16_t>(interval.high)});
+    ranges.push_back({static_cast<std::uint16_t>(interval.low.lo()),
+                      static_cast<std::uint16_t>(interval.high.lo())});
   }
   return ranges;
 }
@@ -171,12 +179,19 @@ std::vector<ir::PortRange> PacketLayout::AffectedProtocols(
 
 PacketExample PacketLayout::Decode(const bdd::Cube& cube) const {
   PacketExample example;
-  example.src_ip = util::Ipv4Address(src_ip_.Decode(cube));
-  example.dst_ip = util::Ipv4Address(dst_ip_.Decode(cube));
-  example.protocol = static_cast<std::uint8_t>(protocol_.Decode(cube));
-  example.src_port = static_cast<std::uint16_t>(src_port_.Decode(cube));
-  example.dst_port = static_cast<std::uint16_t>(dst_port_.Decode(cube));
-  example.icmp_type = static_cast<std::uint8_t>(icmp_type_.Decode(cube));
+  if (family_ == util::AddressFamily::kIpv4) {
+    example.src_ip = util::Ipv4Address(
+        static_cast<std::uint32_t>(src_ip_.Decode(cube).lo()));
+    example.dst_ip = util::Ipv4Address(
+        static_cast<std::uint32_t>(dst_ip_.Decode(cube).lo()));
+  } else {
+    example.src_ip = util::Ipv6Address(src_ip_.Decode(cube));
+    example.dst_ip = util::Ipv6Address(dst_ip_.Decode(cube));
+  }
+  example.protocol = static_cast<std::uint8_t>(protocol_.Decode(cube).lo());
+  example.src_port = static_cast<std::uint16_t>(src_port_.Decode(cube).lo());
+  example.dst_port = static_cast<std::uint16_t>(dst_port_.Decode(cube).lo());
+  example.icmp_type = static_cast<std::uint8_t>(icmp_type_.Decode(cube).lo());
   example.established = established_var_ < cube.size() &&
                         cube[established_var_] == 1;
   return example;

@@ -2,7 +2,7 @@
 
 // Symbolic packets for dataplane ACL differencing.
 //
-// Variable order:
+// Variable order (IPv4 layout, unchanged from the original encoder):
 //   [0..31]    source IP
 //   [32..63]   destination IP
 //   [64..71]   IP protocol number
@@ -10,6 +10,11 @@
 //   [88..103]  destination port
 //   [104..111] ICMP type
 //   [112]      TCP "established" bit (ACK or RST set)
+//
+// The IPv6 layout is identical except the source and destination fields are
+// 128 bits wide ([0..127] src, [128..255] dst, remaining fields shifted up
+// accordingly). Each multi-bit field is a DeclareVarBlock group, so group
+// sifting moves a 128-bit address as one unit.
 
 #include <cstdint>
 #include <optional>
@@ -24,8 +29,8 @@
 namespace campion::encode {
 
 struct PacketExample {
-  util::Ipv4Address src_ip;
-  util::Ipv4Address dst_ip;
+  util::IpAddress src_ip;
+  util::IpAddress dst_ip;
   std::uint8_t protocol = 0;
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
@@ -37,7 +42,9 @@ struct PacketExample {
 
 class PacketLayout {
  public:
-  explicit PacketLayout(bdd::BddManager& mgr);
+  explicit PacketLayout(
+      bdd::BddManager& mgr,
+      util::AddressFamily family = util::AddressFamily::kIpv4);
 
   // Rebinds a prototype layout onto `mgr`, which must have been seeded from
   // the prototype's manager (BddManager::SeedFrom): field offsets are
@@ -46,11 +53,12 @@ class PacketLayout {
   PacketLayout(bdd::BddManager& mgr, const PacketLayout& proto);
 
   bdd::BddManager& manager() const { return mgr_; }
+  util::AddressFamily family() const { return family_; }
 
   bdd::BddRef MatchSrc(const util::IpWildcard& w) const;
   bdd::BddRef MatchDst(const util::IpWildcard& w) const;
-  bdd::BddRef MatchDstPrefix(const util::Prefix& p) const;
-  bdd::BddRef MatchSrcPrefix(const util::Prefix& p) const;
+  bdd::BddRef MatchDstPrefix(const util::IpPrefix& p) const;
+  bdd::BddRef MatchSrcPrefix(const util::IpPrefix& p) const;
   bdd::BddRef ProtocolIs(std::uint8_t protocol) const;
   bdd::BddRef SrcPortIn(const ir::PortRange& r) const;
   bdd::BddRef DstPortIn(const ir::PortRange& r) const;
@@ -82,6 +90,7 @@ class PacketLayout {
                             const util::IpWildcard& w) const;
 
   bdd::BddManager& mgr_;
+  util::AddressFamily family_ = util::AddressFamily::kIpv4;
   SymbolicField src_ip_;
   SymbolicField dst_ip_;
   SymbolicField protocol_;

@@ -5,8 +5,14 @@
 namespace campion::encode {
 
 namespace {
-constexpr int kAddrWidth = 32;
-constexpr int kLenWidth = 6;
+// Per-family address and length widths: 32/6 for IPv4 (lengths 0..32),
+// 128/8 for IPv6 (lengths 0..128).
+constexpr int AddrWidth(util::AddressFamily family) {
+  return util::AddressWidth(family);
+}
+constexpr int LenWidth(util::AddressFamily family) {
+  return family == util::AddressFamily::kIpv4 ? 6 : 8;
+}
 constexpr int kProtoWidth = 2;
 constexpr int kTagWidth = 16;
 constexpr int kMetricWidth = 16;
@@ -32,23 +38,26 @@ ir::Protocol ProtocolFromCode(std::uint32_t code) {
 }  // namespace
 
 RouteAdvLayout::RouteAdvLayout(bdd::BddManager& mgr,
-                               std::vector<util::Community> communities)
-    : mgr_(mgr), communities_(std::move(communities)) {
+                               std::vector<util::Community> communities,
+                               util::AddressFamily family)
+    : mgr_(mgr), family_(family), communities_(std::move(communities)) {
   std::sort(communities_.begin(), communities_.end());
   communities_.erase(std::unique(communities_.begin(), communities_.end()),
                      communities_.end());
 
-  bdd::Var first = mgr_.AddVars(kAddrWidth + kLenWidth + kProtoWidth +
+  const int addr_width = AddrWidth(family);
+  const int len_width = LenWidth(family);
+  bdd::Var first = mgr_.AddVars(addr_width + len_width + kProtoWidth +
                                 kTagWidth + kMetricWidth +
                                 static_cast<bdd::Var>(communities_.size()));
-  addr_ = SymbolicField(first, kAddrWidth);
-  length_ = SymbolicField(first + kAddrWidth, kLenWidth);
-  protocol_ = SymbolicField(first + kAddrWidth + kLenWidth, kProtoWidth);
-  tag_ = SymbolicField(first + kAddrWidth + kLenWidth + kProtoWidth,
+  addr_ = SymbolicField(first, addr_width);
+  length_ = SymbolicField(first + addr_width, len_width);
+  protocol_ = SymbolicField(first + addr_width + len_width, kProtoWidth);
+  tag_ = SymbolicField(first + addr_width + len_width + kProtoWidth,
                        kTagWidth);
   metric_ = SymbolicField(
-      first + kAddrWidth + kLenWidth + kProtoWidth + kTagWidth, kMetricWidth);
-  bdd::Var community_first = first + kAddrWidth + kLenWidth + kProtoWidth +
+      first + addr_width + len_width + kProtoWidth + kTagWidth, kMetricWidth);
+  bdd::Var community_first = first + addr_width + len_width + kProtoWidth +
                              kTagWidth + kMetricWidth;
   for (std::size_t i = 0; i < communities_.size(); ++i) {
     community_vars_[communities_[i]] =
@@ -58,14 +67,14 @@ RouteAdvLayout::RouteAdvLayout(bdd::BddManager& mgr,
   // within a field would break nothing semantically, but keeping the bits
   // contiguous and MSB-first keeps interval extraction walks cheap.
   // Community variables are independent single bits and sift alone.
-  mgr_.DeclareVarBlock(first, kAddrWidth);
-  mgr_.DeclareVarBlock(first + kAddrWidth, kLenWidth);
-  mgr_.DeclareVarBlock(first + kAddrWidth + kLenWidth, kProtoWidth);
-  mgr_.DeclareVarBlock(first + kAddrWidth + kLenWidth + kProtoWidth,
+  mgr_.DeclareVarBlock(first, addr_width);
+  mgr_.DeclareVarBlock(first + addr_width, len_width);
+  mgr_.DeclareVarBlock(first + addr_width + len_width, kProtoWidth);
+  mgr_.DeclareVarBlock(first + addr_width + len_width + kProtoWidth,
                        kTagWidth);
   mgr_.DeclareVarBlock(
-      first + kAddrWidth + kLenWidth + kProtoWidth + kTagWidth, kMetricWidth);
-  valid_ = length_.Leq(mgr_, 32);
+      first + addr_width + len_width + kProtoWidth + kTagWidth, kMetricWidth);
+  valid_ = length_.Leq(mgr_, util::MaxPrefixLength(family));
 }
 
 std::vector<bdd::BddRef> RouteAdvLayout::SiftRoots() const {
@@ -85,6 +94,7 @@ std::vector<bdd::BddRef*> RouteAdvLayout::GcRoots() {
 RouteAdvLayout::RouteAdvLayout(bdd::BddManager& mgr,
                                const RouteAdvLayout& proto)
     : mgr_(mgr),
+      family_(proto.family_),
       addr_(proto.addr_),
       length_(proto.length_),
       protocol_(proto.protocol_),
@@ -97,18 +107,19 @@ RouteAdvLayout::RouteAdvLayout(bdd::BddManager& mgr,
 
 bdd::BddRef RouteAdvLayout::MatchPrefixRange(
     const util::PrefixRange& range) const {
-  if (range.IsEmpty()) return mgr_.False();
+  if (range.family() != family_ || range.IsEmpty()) return mgr_.False();
   int base_len = range.prefix().length();
   int low = std::max(range.low(), base_len);
-  int high = std::min(range.high(), 32);
+  int high = std::min(range.high(), util::MaxPrefixLength(family_));
   bdd::BddRef addr_ok =
       addr_.MatchPrefixBits(mgr_, range.prefix().address().bits(), base_len);
-  bdd::BddRef len_ok = length_.InRange(mgr_, static_cast<std::uint32_t>(low),
-                                       static_cast<std::uint32_t>(high));
+  bdd::BddRef len_ok =
+      length_.InRange(mgr_, static_cast<std::uint32_t>(low),
+                      static_cast<std::uint32_t>(high));
   return mgr_.And(addr_ok, len_ok);
 }
 
-bdd::BddRef RouteAdvLayout::MatchExactPrefix(const util::Prefix& p) const {
+bdd::BddRef RouteAdvLayout::MatchExactPrefix(const util::IpPrefix& p) const {
   return MatchPrefixRange(util::PrefixRange(p));
 }
 
@@ -170,13 +181,16 @@ std::vector<bool> RouteAdvLayout::CommunityVarMask() const {
 
 RouteAdvExample RouteAdvLayout::Decode(const bdd::Cube& cube) const {
   RouteAdvExample example;
-  std::uint32_t addr = addr_.Decode(cube);
-  int len = static_cast<int>(length_.Decode(cube));
-  if (len > 32) len = 32;
-  example.prefix = util::Prefix(util::Ipv4Address(addr), len);
-  example.protocol = ProtocolFromCode(protocol_.Decode(cube));
-  example.tag = tag_.Decode(cube);
-  example.metric = metric_.Decode(cube);
+  util::U128 addr = addr_.Decode(cube);
+  int len = static_cast<int>(length_.Decode(cube).lo());
+  if (len > util::MaxPrefixLength(family_)) {
+    len = util::MaxPrefixLength(family_);
+  }
+  example.prefix = util::IpPrefix(family_, addr, len);
+  example.protocol = ProtocolFromCode(
+      static_cast<std::uint32_t>(protocol_.Decode(cube).lo()));
+  example.tag = static_cast<std::uint32_t>(tag_.Decode(cube).lo());
+  example.metric = static_cast<std::uint32_t>(metric_.Decode(cube).lo());
   for (const auto& [community, var] : community_vars_) {
     if (var < cube.size() && cube[var] == 1) {
       example.communities.push_back(community);

@@ -2,7 +2,8 @@
 
 // Symbolic route advertisements.
 //
-// A route advertisement is encoded over a fixed BDD variable order as:
+// A route advertisement is encoded over a fixed BDD variable order as
+// (IPv4 layout, unchanged from the original encoder):
 //   [0..31]   destination prefix address bits (most significant first)
 //   [32..37]  prefix length (6-bit unsigned, values 0..32)
 //   [38..39]  source protocol (connected/static/ospf/bgp), for
@@ -13,6 +14,10 @@
 //             ("the route carries community c"), then any uninterpreted
 //             predicate variables allocated for match kinds the encoder
 //             does not model bit-precisely.
+//
+// The IPv6 layout widens the address field to 128 bits ([0..127]) and the
+// length field to 8 bits (values 0..128); everything after shifts up. Both
+// address and length fields are DeclareVarBlock groups either way.
 //
 // Address bits beyond the prefix length are deliberately unconstrained:
 // every predicate we build constrains only bits below its base prefix
@@ -36,7 +41,7 @@ namespace campion::encode {
 
 // A decoded, concrete route advertisement (one point of a difference set).
 struct RouteAdvExample {
-  util::Prefix prefix;
+  util::IpPrefix prefix;
   std::vector<util::Community> communities;
   ir::Protocol protocol = ir::Protocol::kBgp;
   std::uint32_t tag = 0;
@@ -50,7 +55,8 @@ class RouteAdvLayout {
   // `communities` is the universe of community constants for this task
   // (typically the union over both configurations being compared).
   RouteAdvLayout(bdd::BddManager& mgr,
-                 std::vector<util::Community> communities);
+                 std::vector<util::Community> communities,
+                 util::AddressFamily family = util::AddressFamily::kIpv4);
 
   // Rebinds a prototype layout onto `mgr`, which must have been seeded from
   // the prototype's manager (BddManager::SeedFrom): variable offsets and
@@ -60,15 +66,18 @@ class RouteAdvLayout {
   RouteAdvLayout(bdd::BddManager& mgr, const RouteAdvLayout& proto);
 
   bdd::BddManager& manager() const { return mgr_; }
+  util::AddressFamily family() const { return family_; }
 
-  // Length field is valid (<= 32). Conjoin once at the root of any
-  // enumeration so spurious lengths never appear in examples.
+  // Length field is valid (<= the family's maximum prefix length). Conjoin
+  // once at the root of any enumeration so spurious lengths never appear in
+  // examples.
   bdd::BddRef Valid() const { return valid_; }
 
-  // The advertised prefix lies in the given prefix range.
+  // The advertised prefix lies in the given prefix range. Ranges of the
+  // other family match nothing.
   bdd::BddRef MatchPrefixRange(const util::PrefixRange& range) const;
   // The advertised prefix is exactly `p`.
-  bdd::BddRef MatchExactPrefix(const util::Prefix& p) const;
+  bdd::BddRef MatchExactPrefix(const util::IpPrefix& p) const;
   bdd::BddRef HasCommunity(util::Community c) const;
   // The route carries no community at all.
   bdd::BddRef NoCommunities() const;
@@ -112,6 +121,7 @@ class RouteAdvLayout {
 
  private:
   bdd::BddManager& mgr_;
+  util::AddressFamily family_ = util::AddressFamily::kIpv4;
   SymbolicField addr_;
   SymbolicField length_;
   SymbolicField protocol_;

@@ -18,17 +18,32 @@ class AclGenerator {
     // network definitions rather than arbitrary prefixes; this matches how
     // real policies are written (a bounded set of named networks) and
     // keeps the symbolic representation of large ACLs compact.
-    for (int i = 0; i < 48; ++i) {
-      int length = 16 + static_cast<int>(Uniform(13));
-      std::uint32_t bits =
-          (10u << 24) | (Uniform(64) << 18) | (Uniform(1024) << 8);
-      network_pool_.emplace_back(Ipv4Address(bits), length);
+    if (options_.family == util::AddressFamily::kIpv4) {
+      for (int i = 0; i < 48; ++i) {
+        int length = 16 + static_cast<int>(Uniform(13));
+        std::uint32_t bits =
+            (10u << 24) | (Uniform(64) << 18) | (Uniform(1024) << 8);
+        network_pool_.emplace_back(Prefix(Ipv4Address(bits), length));
+      }
+    } else {
+      // Documentation space (2001:db8::/32), lengths /48../60: the same
+      // bounded-pool shape, shifted into the top 64 bits.
+      for (int i = 0; i < 48; ++i) {
+        int length = 48 + static_cast<int>(Uniform(13));
+        std::uint64_t hi = (0x20010db8ULL << 32) |
+                           (static_cast<std::uint64_t>(Uniform(64)) << 26) |
+                           (static_cast<std::uint64_t>(Uniform(1024)) << 16);
+        network_pool_.emplace_back(util::Prefix6(
+            util::Ipv6Address(util::U128(hi, 0)), length));
+      }
     }
   }
 
   GeneratedAclPair Run() {
     GeneratedAclPair pair;
     pair.acl1.name = options_.name;
+    pair.acl1.family = options_.family;
+    pair.acl2.family = options_.family;
     for (int i = 0; i < options_.rules; ++i) {
       pair.acl1.lines.push_back(RandomLine());
     }
@@ -43,9 +58,15 @@ class AclGenerator {
     return std::uniform_int_distribution<std::uint32_t>(0, bound - 1)(rng_);
   }
 
-  Prefix RandomPrefix() {
+  util::IpPrefix RandomPrefix() {
     return network_pool_[Uniform(
         static_cast<std::uint32_t>(network_pool_.size()))];
+  }
+
+  static IpWildcard WildcardOf(const util::IpPrefix& prefix) {
+    return prefix.family() == util::AddressFamily::kIpv4
+               ? IpWildcard(prefix.V4())
+               : IpWildcard(prefix.V6());
   }
 
   ir::AclLine RandomLine() {
@@ -55,11 +76,15 @@ class AclGenerator {
     switch (Uniform(4)) {
       case 0: line.protocol = ir::kProtoTcp; break;
       case 1: line.protocol = ir::kProtoUdp; break;
-      case 2: line.protocol = ir::kProtoIcmp; break;
-      default: line.protocol = std::nullopt; break;  // "ip"
+      case 2:
+        line.protocol = options_.family == util::AddressFamily::kIpv4
+                            ? ir::kProtoIcmp
+                            : ir::kProtoIcmpv6;
+        break;
+      default: line.protocol = std::nullopt; break;  // "ip" / "ipv6"
     }
-    line.src = IpWildcard(RandomPrefix());
-    line.dst = IpWildcard(RandomPrefix());
+    line.src = WildcardOf(RandomPrefix());
+    line.dst = WildcardOf(RandomPrefix());
     if (line.protocol == ir::kProtoTcp || line.protocol == ir::kProtoUdp) {
       static constexpr std::uint16_t kPorts[] = {22,  25,  53,   80,  123,
                                                  179, 443, 3306, 8080};
@@ -104,10 +129,11 @@ class AclGenerator {
           break;
         }
         case 2: {  // Widen the destination prefix (le 32 style bug).
-          auto prefix = line.dst.AsPrefix();
+          auto prefix = line.dst.AsIpPrefix();
           if (!prefix || prefix->length() < 2) continue;
-          line.dst = IpWildcard(
-              Prefix(prefix->address(), prefix->length() - 1));
+          line.dst = WildcardOf(util::IpPrefix(
+              prefix->family(), prefix->address().bits(),
+              prefix->length() - 1));
           description += "widened destination prefix";
           break;
         }
@@ -132,7 +158,7 @@ class AclGenerator {
 
   AclGenOptions options_;
   std::mt19937_64 rng_;
-  std::vector<Prefix> network_pool_;
+  std::vector<util::IpPrefix> network_pool_;
 };
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include "ir/config.h"
 #include "ir/policy.h"
+#include "util/ip.h"
 
 namespace campion::gen {
 
@@ -22,6 +23,10 @@ struct AclGenOptions {
   std::uint64_t seed = 1;
   int differences = 10;  // Mutations injected into the second copy.
   std::string name = "FILTER";
+  // kIpv6 draws the network pool from 2001:db8::/32 and emits
+  // `ipv6 access-list` / `family inet6` pairs; the v4 byte stream for a
+  // given seed is unchanged by this knob.
+  util::AddressFamily family = util::AddressFamily::kIpv4;
 };
 
 struct GeneratedAclPair {

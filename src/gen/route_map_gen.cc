@@ -217,7 +217,8 @@ std::vector<RandomRoute> SampleRoutes(const GeneratedRouteMapPair& pair,
   std::vector<Prefix> prefixes;
   for (const ir::RouterConfig* config : {&pair.config1, &pair.config2}) {
     for (const auto& range : config->AllPrefixRanges()) {
-      const Prefix& base = range.prefix();
+      if (range.family() != util::AddressFamily::kIpv4) continue;
+      const Prefix base = range.prefix().V4();
       prefixes.push_back(base);
       if (range.low() <= 32) {
         prefixes.push_back(Prefix(base.address(), range.low()));

@@ -46,6 +46,7 @@ std::string ProtocolNumberToString(std::uint8_t protocol) {
     case kProtoIcmp: return "icmp";
     case kProtoTcp: return "tcp";
     case kProtoUdp: return "udp";
+    case kProtoIcmpv6: return "icmpv6";
     case kProtoOspf: return "ospf";
     default: return std::to_string(protocol);
   }

@@ -49,6 +49,9 @@ struct PrefixListEntry {
 
 struct PrefixList {
   std::string name;
+  // Address family of every entry ("ip prefix-list" vs "ipv6 prefix-list";
+  // both vendors keep the families in separate namespaces).
+  util::AddressFamily family = util::AddressFamily::kIpv4;
   std::vector<PrefixListEntry> entries;  // First match wins; default deny.
   util::SourceSpan span;
 };
@@ -192,6 +195,10 @@ struct AclLine {
 
 struct Acl {
   std::string name;
+  // Address family of the whole ACL ("ip access-list" vs "ipv6
+  // access-list", JunOS "family inet" vs "family inet6" filters); every
+  // line's wildcards carry the same family.
+  util::AddressFamily family = util::AddressFamily::kIpv4;
   std::vector<AclLine> lines;  // First match wins; implicit deny at end.
   util::SourceSpan span;
 };
@@ -200,6 +207,7 @@ struct Acl {
 inline constexpr std::uint8_t kProtoIcmp = 1;
 inline constexpr std::uint8_t kProtoTcp = 6;
 inline constexpr std::uint8_t kProtoUdp = 17;
+inline constexpr std::uint8_t kProtoIcmpv6 = 58;
 inline constexpr std::uint8_t kProtoOspf = 89;
 
 std::string ProtocolNumberToString(std::uint8_t protocol);

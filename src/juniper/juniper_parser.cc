@@ -210,6 +210,7 @@ std::optional<std::uint8_t> ParseIpProtocol(const std::string& token) {
   if (token == "icmp") return ir::kProtoIcmp;
   if (token == "tcp") return ir::kProtoTcp;
   if (token == "udp") return ir::kProtoUdp;
+  if (token == "icmp6" || token == "icmpv6") return ir::kProtoIcmpv6;
   if (token == "ospf") return ir::kProtoOspf;
   if (auto n = ParseNumber(token); n && *n <= 255) {
     return static_cast<std::uint8_t>(*n);
@@ -407,10 +408,21 @@ class Converter {
     ir::PrefixList list;
     list.name = list_node.Word(1);
     list.span = Span(list_node);
+    // JunOS prefix-lists accept either family syntactically; the IR keeps
+    // the families apart, so the first entry fixes the list's family and
+    // entries of the other family are diagnosed.
+    bool family_set = false;
     for (const Node& entry : list_node.children) {
-      auto prefix = Prefix::Parse(entry.Word(0));
+      auto prefix = util::IpPrefix::Parse(entry.Word(0));
       if (!prefix) {
         Diagnose(entry, "bad prefix-list entry");
+        continue;
+      }
+      if (!family_set) {
+        list.family = prefix->family();
+        family_set = true;
+      } else if (prefix->family() != list.family) {
+        Diagnose(entry, "prefix-list entry mixes address families");
         continue;
       }
       // JunOS prefix-lists match exactly (no length window) when used in a
@@ -602,16 +614,18 @@ class Converter {
       config().prefix_lists[name] = std::move(lowered);
       return name;
     }
+    lowered.family = source->family;
+    const int max_len = util::MaxPrefixLength(source->family);
     const std::string& mode = condition.Word(2);
     for (const auto& entry : source->entries) {
       int base = entry.range.prefix().length();
       int low = base;
       int high = base;
       if (mode == "orlonger") {
-        high = 32;
+        high = max_len;
       } else if (mode == "longer") {
         low = base + 1;
-        high = 32;
+        high = max_len;
       } else if (mode != "exact" && !mode.empty()) {
         Diagnose(condition, "unsupported prefix-list-filter mode: " + mode);
       }
@@ -632,22 +646,24 @@ class Converter {
     ir::PrefixList list;
     list.name = name;
     list.span = Span(condition);
-    auto prefix = Prefix::Parse(condition.Word(1));
+    auto prefix = util::IpPrefix::Parse(condition.Word(1));
     if (!prefix) {
       Diagnose(condition, "bad route-filter prefix");
       config().prefix_lists[name] = std::move(list);
       return name;
     }
+    list.family = prefix->family();
+    const int max_len = util::MaxPrefixLength(prefix->family());
     const std::string& mode = condition.Word(2);
     int low = prefix->length();
     int high = prefix->length();
     if (mode == "exact" || mode.empty()) {
       // Exact: [len, len].
     } else if (mode == "orlonger") {
-      high = 32;
+      high = max_len;
     } else if (mode == "longer") {
       low = prefix->length() + 1;
-      high = 32;
+      high = max_len;
     } else if (mode == "upto") {
       // upto /N
       const std::string& bound = condition.Word(3);
@@ -752,18 +768,30 @@ class Converter {
   // --- firewall ---------------------------------------------------------------------
 
   void ConvertFirewall(const Node& firewall) {
-    const Node* family = firewall.Find("family");
-    const Node* scope = &firewall;
-    if (family != nullptr && family->Word(1) == "inet") scope = family;
-    for (const Node& filter : scope->children) {
-      if (filter.Word(0) != "filter") continue;
-      ConvertFilter(filter);
+    for (const Node& child : firewall.children) {
+      if (child.Word(0) == "family") {
+        util::AddressFamily family = util::AddressFamily::kIpv4;
+        if (child.Word(1) == "inet6") {
+          family = util::AddressFamily::kIpv6;
+        } else if (child.Word(1) != "inet") {
+          Diagnose(child, "unsupported firewall family: " + child.Word(1));
+          continue;
+        }
+        for (const Node& filter : child.children) {
+          if (filter.Word(0) != "filter") continue;
+          ConvertFilter(filter, family);
+        }
+      } else if (child.Word(0) == "filter") {
+        // A filter directly under `firewall` is family inet.
+        ConvertFilter(child, util::AddressFamily::kIpv4);
+      }
     }
   }
 
-  void ConvertFilter(const Node& filter_node) {
+  void ConvertFilter(const Node& filter_node, util::AddressFamily family) {
     ir::Acl acl;
     acl.name = filter_node.Word(1);
+    acl.family = family;
     acl.span = Span(filter_node);
     for (const Node& term : filter_node.children) {
       if (term.Word(0) != "term") continue;
@@ -773,6 +801,7 @@ class Converter {
   }
 
   void ConvertFilterTerm(const Node& term, ir::Acl& acl) {
+    const util::AddressFamily family = acl.family;
     std::vector<IpWildcard> sources;
     std::vector<IpWildcard> destinations;
     std::vector<std::optional<std::uint8_t>> protocols;
@@ -782,6 +811,23 @@ class Converter {
     bool established = false;
     LineAction action = LineAction::kPermit;
     bool has_action = false;
+
+    // source-address/destination-address operands are prefix-shaped in both
+    // families ("10.0.0.0/8", "2001:db8::/32").
+    auto parse_address = [&](const Node& condition,
+                             std::vector<IpWildcard>& out, const char* what) {
+      if (family == util::AddressFamily::kIpv6) {
+        if (auto prefix = util::Prefix6::Parse(condition.Word(1))) {
+          out.push_back(IpWildcard(*prefix));
+        } else {
+          Diagnose(condition, std::string("bad ") + what);
+        }
+      } else if (auto prefix = Prefix::Parse(condition.Word(1))) {
+        out.push_back(IpWildcard(*prefix));
+      } else {
+        Diagnose(condition, std::string("bad ") + what);
+      }
+    };
 
     auto parse_ports = [&](const Node& condition,
                            std::vector<ir::PortRange>& ports) {
@@ -806,18 +852,10 @@ class Converter {
       for (const Node& condition : from->children) {
         const std::string& kind = condition.Word(0);
         if (kind == "source-address") {
-          if (auto prefix = Prefix::Parse(condition.Word(1))) {
-            sources.push_back(IpWildcard(*prefix));
-          } else {
-            Diagnose(condition, "bad source-address");
-          }
+          parse_address(condition, sources, "source-address");
         } else if (kind == "destination-address") {
-          if (auto prefix = Prefix::Parse(condition.Word(1))) {
-            destinations.push_back(IpWildcard(*prefix));
-          } else {
-            Diagnose(condition, "bad destination-address");
-          }
-        } else if (kind == "protocol") {
+          parse_address(condition, destinations, "destination-address");
+        } else if (kind == "protocol" || kind == "next-header") {
           for (std::size_t i = 1; i < condition.words.size(); ++i) {
             if (auto protocol = ParseIpProtocol(condition.words[i])) {
               protocols.push_back(protocol);
@@ -834,13 +872,14 @@ class Converter {
           // Matches established TCP flows.
           // (protocol tcp is usually also present in the term.)
           established = true;
-        } else if (kind == "icmp-type") {
+        } else if (kind == "icmp-type" || kind == "icmpv6-type") {
+          const bool v6 = family == util::AddressFamily::kIpv6;
           if (auto type = ParseNumber(condition.Word(1))) {
             icmp_type = static_cast<std::uint8_t>(*type);
           } else if (condition.Word(1) == "echo-request") {
-            icmp_type = 8;
+            icmp_type = v6 ? 128 : 8;
           } else if (condition.Word(1) == "echo-reply") {
-            icmp_type = 0;
+            icmp_type = v6 ? 129 : 0;
           }
         } else {
           Diagnose(condition, "unsupported filter condition: " + kind);
@@ -870,8 +909,10 @@ class Converter {
       action = LineAction::kPermit;
     }
 
-    if (sources.empty()) sources.push_back(IpWildcard::Any());
-    if (destinations.empty()) destinations.push_back(IpWildcard::Any());
+    if (sources.empty()) sources.push_back(IpWildcard::AnyOf(family));
+    if (destinations.empty()) {
+      destinations.push_back(IpWildcard::AnyOf(family));
+    }
     if (protocols.empty()) protocols.push_back(std::nullopt);
 
     // One IR line per (source, destination, protocol) combination; ORs

@@ -9,12 +9,13 @@ namespace {
 std::string RouteFilterLine(const util::PrefixRange& range,
                             const std::string& indent) {
   int base = range.prefix().length();
+  const int max_len = util::MaxPrefixLength(range.family());
   std::string out = indent + "route-filter " + range.prefix().ToString();
   if (range.low() == base && range.high() == base) {
     out += " exact";
-  } else if (range.low() == base && range.high() == 32) {
+  } else if (range.low() == base && range.high() == max_len) {
     out += " orlonger";
-  } else if (range.low() == base + 1 && range.high() == 32) {
+  } else if (range.low() == base + 1 && range.high() == max_len) {
     out += " longer";
   } else if (range.low() == base) {
     out += " upto /" + std::to_string(range.high());
@@ -249,9 +250,17 @@ std::string UnparseFilter(const ir::Acl& acl) {
     auto address_match = [&out](const char* keyword,
                                 const util::IpWildcard& w) {
       if (w.IsAny()) return;
-      if (auto prefix = w.AsPrefix()) {
+      if (auto prefix = w.AsIpPrefix()) {
         out += std::string("                    ") + keyword + " " +
                prefix->ToString() + ";\n";
+        return;
+      }
+      if (w.family() != util::AddressFamily::kIpv4) {
+        // The 2^k-prefix expansion below is 32-bit; discontiguous 128-bit
+        // wildcards (which no frontend produces) only get the marker.
+        out += std::string("                    /* unrepresentable "
+                           "wildcard ") +
+               keyword + " " + w.ToString() + " */\n";
         return;
       }
       std::vector<util::Prefix> prefixes = ExpandWildcard(w, 256);
@@ -410,11 +419,23 @@ std::string UnparseJuniperConfig(const ir::RouterConfig& config) {
   }
 
   if (!config.acls.empty()) {
-    out += "firewall {\n    family inet {\n";
-    for (const auto& [name, acl] : config.acls) {
-      out += UnparseFilter(acl);
+    out += "firewall {\n";
+    for (util::AddressFamily family :
+         {util::AddressFamily::kIpv4, util::AddressFamily::kIpv6}) {
+      bool any = false;
+      for (const auto& [name, acl] : config.acls) {
+        if (acl.family != family) continue;
+        if (!any) {
+          out += family == util::AddressFamily::kIpv4
+                     ? "    family inet {\n"
+                     : "    family inet6 {\n";
+          any = true;
+        }
+        out += UnparseFilter(acl);
+      }
+      if (any) out += "    }\n";
     }
-    out += "    }\n}\n";
+    out += "}\n";
   }
 
   bool has_protocols = config.ospf.has_value() ||

@@ -19,9 +19,10 @@ bool PrefixRange::ContainsRange(const PrefixRange& other) const {
 
 std::optional<PrefixRange> PrefixRange::Intersect(
     const PrefixRange& other) const {
+  if (family() != other.family()) return std::nullopt;
   // Base prefixes are tree-ordered: they are disjoint, or one contains the
   // other. Disjoint bases mean an empty intersection.
-  const Prefix* longer = &prefix_;
+  const IpPrefix* longer = &prefix_;
   if (other.prefix_.length() > prefix_.length()) longer = &other.prefix_;
   if (!prefix_.Contains(*longer) || !other.prefix_.Contains(*longer)) {
     return std::nullopt;

@@ -7,7 +7,9 @@
 // and whose length lies in [16, 32]. Prefix lists in both Cisco ("le"/"ge")
 // and Juniper ("prefix-length-range", "orlonger", "upto") compile to prefix
 // ranges, and Campion reports difference header spaces as unions and
-// differences of these ranges.
+// differences of these ranges. Ranges are family-tagged (the base prefix
+// carries its family); ranges of different families never intersect or
+// contain one another.
 
 #include <optional>
 #include <string>
@@ -20,31 +22,38 @@ namespace campion::util {
 class PrefixRange {
  public:
   constexpr PrefixRange() = default;
-  constexpr PrefixRange(Prefix prefix, int low, int high)
+  constexpr PrefixRange(IpPrefix prefix, int low, int high)
       : prefix_(prefix), low_(low), high_(high) {}
 
   // The range matching exactly one prefix.
-  constexpr explicit PrefixRange(Prefix prefix)
+  constexpr explicit PrefixRange(IpPrefix prefix)
       : PrefixRange(prefix, prefix.length(), prefix.length()) {}
 
   // The universe U = (0.0.0.0/0, 0-32): every IPv4 prefix.
   static constexpr PrefixRange Universe() {
     return PrefixRange(Prefix(Ipv4Address(0), 0), 0, 32);
   }
+  // The all-prefixes range of either family.
+  static constexpr PrefixRange UniverseOf(AddressFamily family) {
+    return PrefixRange(IpPrefix(family, U128(), 0), 0,
+                       MaxPrefixLength(family));
+  }
 
-  constexpr const Prefix& prefix() const { return prefix_; }
+  constexpr const IpPrefix& prefix() const { return prefix_; }
+  constexpr AddressFamily family() const { return prefix_.family(); }
   constexpr int low() const { return low_; }
   constexpr int high() const { return high_; }
 
   // A range is empty when no length in [low, high] is both >= the base
-  // prefix length (a member must be a subnet of the base) and <= 32.
+  // prefix length (a member must be a subnet of the base) and <= the
+  // family's maximum length.
   constexpr bool IsEmpty() const {
     return EffectiveLow() > EffectiveHigh();
   }
 
   // Membership: prefix p is in this range iff its address matches our base
   // prefix and its length falls inside [low, high].
-  constexpr bool Contains(const Prefix& p) const {
+  constexpr bool Contains(const IpPrefix& p) const {
     return p.length() >= low_ && p.length() <= high_ &&
            prefix_.Contains(p);
   }
@@ -67,9 +76,12 @@ class PrefixRange {
   constexpr int EffectiveLow() const {
     return low_ < prefix_.length() ? prefix_.length() : low_;
   }
-  constexpr int EffectiveHigh() const { return high_ > 32 ? 32 : high_; }
+  constexpr int EffectiveHigh() const {
+    const int max = MaxPrefixLength(prefix_.family());
+    return high_ > max ? max : high_;
+  }
 
-  Prefix prefix_;
+  IpPrefix prefix_;
   int low_ = 0;
   int high_ = 0;
 };

@@ -1,0 +1,116 @@
+#pragma once
+
+// A 128-bit unsigned integer built from two 64-bit limbs.
+//
+// The encoder's value plumbing (SymbolicField, prefix matching, interval
+// extraction) is width-parametric up to 128 bits so that IPv6 addresses ride
+// the same code paths as IPv4. U128 is deliberately minimal: the shifts,
+// bitwise operations, comparisons, and increments the bit-field walks need,
+// all constexpr, nothing else. Narrow unsigned values convert implicitly
+// (so existing 32-bit call sites compile unchanged); narrowing back out is
+// explicit via lo().
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace campion::util {
+
+class U128 {
+ public:
+  constexpr U128() = default;
+  // Implicit: a narrow unsigned value is the same number in 128 bits.
+  constexpr U128(std::uint64_t lo) : lo_(lo) {}  // NOLINT(runtime/explicit)
+  constexpr U128(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  constexpr std::uint64_t hi() const { return hi_; }
+  constexpr std::uint64_t lo() const { return lo_; }
+
+  // The value with the low `n` bits set (n in [0, 128]). n == 64 must take
+  // the second branch: the first would shift a uint64_t by 64, which is
+  // undefined and on x86 silently yields ~0ull (so Ones(64) == Max()) at
+  // runtime while constant folding gives the correct value — an
+  // inconsistency that made exactly the 64-bit-wide blocks vanish from
+  // SymbolicField::Intervals on 128-bit fields.
+  static constexpr U128 Ones(int n) {
+    if (n <= 0) return U128();
+    if (n >= 128) return U128(~0ull, ~0ull);
+    if (n > 64) return U128(~0ull >> (128 - n), ~0ull);
+    return U128(0, ~0ull >> (64 - n));
+  }
+  static constexpr U128 Max() { return U128(~0ull, ~0ull); }
+
+  // The i-th bit counting from bit 0 = least significant.
+  constexpr bool Bit(int i) const {
+    return i < 64 ? (lo_ >> i) & 1u : (hi_ >> (i - 64)) & 1u;
+  }
+
+  friend constexpr U128 operator&(U128 a, U128 b) {
+    return U128(a.hi_ & b.hi_, a.lo_ & b.lo_);
+  }
+  friend constexpr U128 operator|(U128 a, U128 b) {
+    return U128(a.hi_ | b.hi_, a.lo_ | b.lo_);
+  }
+  friend constexpr U128 operator^(U128 a, U128 b) {
+    return U128(a.hi_ ^ b.hi_, a.lo_ ^ b.lo_);
+  }
+  friend constexpr U128 operator~(U128 a) { return U128(~a.hi_, ~a.lo_); }
+
+  friend constexpr U128 operator<<(U128 a, int n) {
+    if (n <= 0) return a;
+    if (n >= 128) return U128();
+    if (n >= 64) return U128(a.lo_ << (n - 64), 0);
+    return U128((a.hi_ << n) | (a.lo_ >> (64 - n)), a.lo_ << n);
+  }
+  friend constexpr U128 operator>>(U128 a, int n) {
+    if (n <= 0) return a;
+    if (n >= 128) return U128();
+    if (n >= 64) return U128(0, a.hi_ >> (n - 64));
+    return U128(a.hi_ >> n, (a.lo_ >> n) | (a.hi_ << (64 - n)));
+  }
+
+  friend constexpr U128 operator+(U128 a, U128 b) {
+    std::uint64_t lo = a.lo_ + b.lo_;
+    std::uint64_t carry = lo < a.lo_ ? 1 : 0;
+    return U128(a.hi_ + b.hi_ + carry, lo);
+  }
+  friend constexpr U128 operator-(U128 a, U128 b) {
+    std::uint64_t lo = a.lo_ - b.lo_;
+    std::uint64_t borrow = a.lo_ < b.lo_ ? 1 : 0;
+    return U128(a.hi_ - b.hi_ - borrow, lo);
+  }
+
+  friend constexpr bool operator==(U128, U128) = default;
+  friend constexpr std::strong_ordering operator<=>(U128 a, U128 b) {
+    if (auto c = a.hi_ <=> b.hi_; c != 0) return c;
+    return a.lo_ <=> b.lo_;
+  }
+
+  // Decimal rendering (division-free repeated halving is overkill; schoolbook
+  // divide-by-10 over the limbs is plenty for diagnostics and tests).
+  std::string ToString() const {
+    if (hi_ == 0) return std::to_string(lo_);
+    std::string digits;
+    std::uint64_t hi = hi_, lo = lo_;
+    while (hi != 0 || lo != 0) {
+      // Divide (hi:lo) by 10, tracking the remainder.
+      std::uint64_t rem = hi % 10;
+      std::uint64_t new_hi = hi / 10;
+      // (rem:lo) / 10 via 64-bit halves to avoid __int128.
+      std::uint64_t part1 = (rem << 32) | (lo >> 32);
+      std::uint64_t q1 = part1 / 10;
+      std::uint64_t part2 = ((part1 % 10) << 32) | (lo & 0xffffffffull);
+      std::uint64_t q2 = part2 / 10;
+      digits.push_back(static_cast<char>('0' + part2 % 10));
+      hi = new_hi;
+      lo = (q1 << 32) | q2;
+    }
+    return std::string(digits.rbegin(), digits.rend());
+  }
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+}  // namespace campion::util

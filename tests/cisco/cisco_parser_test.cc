@@ -450,5 +450,83 @@ TEST(CiscoParserTest, StandardAndExtendedNumberRanges) {
   EXPECT_EQ(config.FindAcl("101")->lines[0].protocol, ir::kProtoTcp);
 }
 
+TEST(CiscoParserTest, Ipv6PrefixListWindows) {
+  auto config = Parse(
+      "ipv6 prefix-list PL6 seq 5 permit 2001:db8::/32 le 128\n"
+      "ipv6 prefix-list PL6 seq 10 permit 2001:db8:9::/48 ge 56\n"
+      "ipv6 prefix-list PL6 seq 15 deny 2001:db8:bad::/48\n");
+  const ir::PrefixList* list = config.FindPrefixList("PL6");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->family, util::AddressFamily::kIpv6);
+  ASSERT_EQ(list->entries.size(), 3u);
+  EXPECT_EQ(list->entries[0].range,
+            PrefixRange(*util::Prefix6::Parse("2001:db8::/32"), 32, 128));
+  EXPECT_EQ(list->entries[1].range,
+            PrefixRange(*util::Prefix6::Parse("2001:db8:9::/48"), 56, 128));
+  // Without ge/le the entry matches the exact length, as in v4.
+  EXPECT_EQ(list->entries[2].range,
+            PrefixRange(*util::Prefix6::Parse("2001:db8:bad::/48"), 48, 48));
+  EXPECT_EQ(list->entries[2].action, ir::LineAction::kDeny);
+}
+
+TEST(CiscoParserTest, Ipv6NamedAcl) {
+  auto config = Parse(
+      "ipv6 access-list V6\n"
+      " permit tcp 2001:db8:1::/48 any eq 179\n"
+      " permit icmpv6 any any 128\n"
+      " deny ipv6 host 2001:db8::dead any\n"
+      " permit ipv6 2001:db8::/32 any\n");
+  const ir::Acl* acl = config.FindAcl("V6");
+  ASSERT_NE(acl, nullptr);
+  EXPECT_EQ(acl->family, util::AddressFamily::kIpv6);
+  ASSERT_EQ(acl->lines.size(), 4u);
+
+  EXPECT_EQ(acl->lines[0].protocol, ir::kProtoTcp);
+  ASSERT_TRUE(acl->lines[0].src.AsIpPrefix().has_value());
+  EXPECT_EQ(*acl->lines[0].src.AsIpPrefix(),
+            util::IpPrefix(*util::Prefix6::Parse("2001:db8:1::/48")));
+  EXPECT_TRUE(acl->lines[0].dst.IsAny());
+  ASSERT_EQ(acl->lines[0].dst_ports.size(), 1u);
+  EXPECT_EQ(acl->lines[0].dst_ports[0], (ir::PortRange{179, 179}));
+
+  EXPECT_EQ(acl->lines[1].protocol, ir::kProtoIcmpv6);
+  EXPECT_EQ(acl->lines[1].icmp_type, 128);
+
+  // "host" form and "ipv6" (any-protocol) keyword.
+  EXPECT_EQ(acl->lines[2].action, ir::LineAction::kDeny);
+  EXPECT_FALSE(acl->lines[2].protocol.has_value());
+  EXPECT_TRUE(acl->lines[2].src.Matches(
+      *util::Ipv6Address::Parse("2001:db8::dead")));
+  EXPECT_FALSE(acl->lines[2].src.Matches(
+      *util::Ipv6Address::Parse("2001:db8::beef")));
+
+  EXPECT_FALSE(acl->lines[3].protocol.has_value());
+  EXPECT_EQ(acl->lines[3].src.family(), util::AddressFamily::kIpv6);
+}
+
+TEST(CiscoParserTest, Ipv6AclRejectsV4Addresses) {
+  auto result = ParseCiscoConfig(
+      "ipv6 access-list V6\n"
+      " permit tcp 10.0.0.0 0.0.0.255 any\n",
+      "test.cfg");
+  const ir::Acl* acl = result.config.FindAcl("V6");
+  ASSERT_NE(acl, nullptr);
+  EXPECT_TRUE(acl->lines.empty());
+  EXPECT_FALSE(result.diagnostics.empty());
+}
+
+TEST(CiscoParserTest, RouteMapMatchIpv6AddressPrefixList) {
+  auto config = Parse(
+      "ipv6 prefix-list NETS6 seq 5 permit 2001:db8::/32\n"
+      "route-map POL permit 10\n"
+      " match ipv6 address prefix-list NETS6\n");
+  const ir::RouteMap* map = config.FindRouteMap("POL");
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->clauses.size(), 1u);
+  ASSERT_EQ(map->clauses[0].matches.size(), 1u);
+  EXPECT_EQ(map->clauses[0].matches[0].names,
+            std::vector<std::string>{"NETS6"});
+}
+
 }  // namespace
 }  // namespace campion::cisco

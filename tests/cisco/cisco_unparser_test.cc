@@ -134,5 +134,69 @@ TEST(UnparseConfigTest, EmitsEndMarker) {
   EXPECT_NE(text.find("end"), std::string::npos);
 }
 
+TEST(UnparsePrefixListTest, Ipv6RoundTripsWindows) {
+  ir::PrefixList list;
+  list.name = "PL6";
+  list.family = util::AddressFamily::kIpv6;
+  auto base = *util::Prefix6::Parse("2001:db8::/32");
+  // The window ceiling is 128, not 32: an "orlonger" v6 entry must emit
+  // "le 128" and parse back to [32, 128].
+  for (auto [low, high] :
+       {std::pair{32, 32}, {32, 128}, {48, 128}, {40, 64}}) {
+    list.entries.push_back(
+        {ir::LineAction::kPermit, PrefixRange(base, low, high), {}});
+  }
+  std::string text = UnparsePrefixList(list);
+  EXPECT_NE(text.find("ipv6 prefix-list PL6"), std::string::npos);
+  EXPECT_NE(text.find("permit 2001:db8::/32 le 128"), std::string::npos);
+  auto parsed = ParseCiscoConfig(text, "t.cfg");
+  const ir::PrefixList* back = parsed.config.FindPrefixList("PL6");
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->family, util::AddressFamily::kIpv6);
+  ASSERT_EQ(back->entries.size(), list.entries.size());
+  for (std::size_t i = 0; i < list.entries.size(); ++i) {
+    EXPECT_EQ(back->entries[i].range, list.entries[i].range) << i;
+  }
+}
+
+TEST(UnparseAclTest, Ipv6RoundTrips) {
+  ir::Acl acl;
+  acl.name = "F6";
+  acl.family = util::AddressFamily::kIpv6;
+  ir::AclLine any_line;
+  any_line.src = util::IpWildcard::AnyOf(util::AddressFamily::kIpv6);
+  any_line.dst = util::IpWildcard::AnyOf(util::AddressFamily::kIpv6);
+  acl.lines.push_back(any_line);
+  ir::AclLine host_line = any_line;
+  host_line.src =
+      util::IpWildcard(*util::Ipv6Address::Parse("2001:db8::dead"));
+  host_line.protocol = ir::kProtoTcp;
+  host_line.dst_ports.push_back({179, 179});
+  acl.lines.push_back(host_line);
+  ir::AclLine prefix_line = any_line;
+  prefix_line.action = ir::LineAction::kDeny;
+  prefix_line.dst = util::IpWildcard(*util::Prefix6::Parse("2001:db8:bad::/48"));
+  acl.lines.push_back(prefix_line);
+
+  std::string text = UnparseAcl(acl);
+  EXPECT_NE(text.find("ipv6 access-list F6"), std::string::npos);
+  EXPECT_NE(text.find("permit ipv6 any any"), std::string::npos);
+  EXPECT_NE(text.find("host 2001:db8::dead"), std::string::npos);
+  EXPECT_NE(text.find("deny ipv6 any 2001:db8:bad::/48"), std::string::npos);
+
+  auto parsed = ParseCiscoConfig(text, "t.cfg");
+  const ir::Acl* back = parsed.config.FindAcl("F6");
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->family, util::AddressFamily::kIpv6);
+  ASSERT_EQ(back->lines.size(), acl.lines.size());
+  for (std::size_t i = 0; i < acl.lines.size(); ++i) {
+    EXPECT_EQ(back->lines[i].action, acl.lines[i].action) << i;
+    EXPECT_EQ(back->lines[i].protocol, acl.lines[i].protocol) << i;
+    EXPECT_EQ(back->lines[i].src, acl.lines[i].src) << i;
+    EXPECT_EQ(back->lines[i].dst, acl.lines[i].dst) << i;
+    EXPECT_EQ(back->lines[i].dst_ports, acl.lines[i].dst_ports) << i;
+  }
+}
+
 }  // namespace
 }  // namespace campion::cisco

@@ -85,7 +85,8 @@ TEST_F(FieldIntervalsTest, RandomSetsRoundTrip) {
     std::vector<bool> rebuilt(256, false);
     for (const auto& interval : intervals) {
       // Intervals must be sorted, disjoint, non-adjacent.
-      for (std::uint32_t v = interval.low; v <= interval.high; ++v) {
+      for (std::uint32_t v = static_cast<std::uint32_t>(interval.low.lo());
+           v <= static_cast<std::uint32_t>(interval.high.lo()); ++v) {
         EXPECT_FALSE(rebuilt[v]);
         rebuilt[v] = true;
       }
@@ -95,6 +96,103 @@ TEST_F(FieldIntervalsTest, RandomSetsRoundTrip) {
       EXPECT_GT(intervals[i].low, intervals[i - 1].high + 1);
     }
   }
+}
+
+// Regression: AppendInterval tested adjacency as `back.high + 1 == low`.
+// With back.high at the maximum field value the increment wraps to 0, so a
+// later append starting at 0 spuriously merged and corrupted the sorted
+// list. The fixed form (`back.high == low - 1` guarded by low != 0) must
+// keep the two intervals apart.
+TEST(AppendIntervalTest, NoWraparoundMergeAtMaxFieldValue) {
+  std::vector<Interval> intervals;
+  SymbolicField::AppendInterval(intervals, util::U128(5), util::U128::Max());
+  SymbolicField::AppendInterval(intervals, util::U128(), util::U128(3));
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (Interval{util::U128(5), util::U128::Max()}));
+  EXPECT_EQ(intervals[1], (Interval{util::U128(), util::U128(3)}));
+}
+
+TEST(AppendIntervalTest, StillMergesGenuinelyAdjacent) {
+  std::vector<Interval> intervals;
+  SymbolicField::AppendInterval(intervals, util::U128(), util::U128(9));
+  SymbolicField::AppendInterval(intervals, util::U128(10), util::U128(20));
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], (Interval{util::U128(), util::U128(20)}));
+}
+
+// A full-width 128-bit field whose set is True must come back as the single
+// interval [0, 2^128 - 1]; pre-fix, block arithmetic at the top of the walk
+// wrapped and split or corrupted it.
+TEST(FieldIntervals128Test, FullRangeIsOneInterval) {
+  BddManager mgr(128);
+  SymbolicField field(0, 128);
+  auto full = field.Intervals(mgr, mgr.True());
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0].low, util::U128());
+  EXPECT_EQ(full[0].high, util::U128::Max());
+}
+
+// Randomized 128-bit oracle: Intervals(InRange(a, b)) must reproduce
+// exactly [a, b] for arbitrary 128-bit bounds.
+TEST(FieldIntervals128Test, RandomRangesRoundTrip) {
+  BddManager mgr(128);
+  SymbolicField field(0, 128);
+  std::mt19937_64 rng(128);
+  for (int trial = 0; trial < 25; ++trial) {
+    util::U128 a(rng(), rng());
+    util::U128 b(rng(), rng());
+    if (b < a) std::swap(a, b);
+    auto intervals = field.Intervals(mgr, field.InRange(mgr, a, b));
+    ASSERT_EQ(intervals.size(), 1u) << "trial " << trial;
+    EXPECT_EQ(intervals[0], (Interval{a, b})) << "trial " << trial;
+  }
+}
+
+// Sift survival: extracting intervals from a reordered 128-bit manager
+// must give the same answer as from the declaration order (Intervals
+// routes reordered managers through DeclarationOrderView). Mirrors the
+// 32-bit reorder-parity tests, at the width where limb-boundary
+// arithmetic bugs live.
+TEST(FieldIntervals128Test, IntervalsSurviveSifting) {
+  BddManager mgr(128);
+  SymbolicField field(0, 128);
+  std::mt19937_64 rng(4291);  // RFC 4291.
+  for (int trial = 0; trial < 5; ++trial) {
+    util::U128 a(rng(), rng());
+    util::U128 b(rng(), rng());
+    if (b < a) std::swap(a, b);
+    BddRef set = mgr.Or(field.InRange(mgr, a, b),
+                        field.EqualsConst(mgr, util::U128(rng(), rng())));
+    auto before = field.Intervals(mgr, set);
+    std::vector<BddRef> roots = {set};
+    mgr.Sift(bdd::SiftMode::kVars, &roots);
+    auto after = field.Intervals(mgr, set);
+    EXPECT_EQ(before, after) << "trial " << trial;
+  }
+}
+
+// Regression: a predicate over a variable *beyond* the field previously
+// fell through to the depth-driven descent, which emitted one single-value
+// interval per field value — 2^32 appends for a 32-bit field (an effective
+// hang). The out-of-field check now runs on the node's variable before the
+// descent, so the whole block is emitted in one step.
+TEST(FieldIntervalsOutOfFieldTest, VariableBeyondFieldEmitsWholeBlock) {
+  BddManager mgr(33);
+  SymbolicField field(0, 32);
+  auto intervals = field.Intervals(mgr, mgr.VarTrue(32));
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], (Interval{util::U128(), util::U128::Ones(32)}));
+}
+
+TEST(FieldIntervalsOutOfFieldTest, MixedInAndOutOfFieldVariables) {
+  BddManager mgr(34);
+  SymbolicField field(0, 32);
+  // (field == 7) OR (an out-of-field variable): projected onto the field,
+  // everything is reachable, but the walk must not enumerate values.
+  BddRef set = mgr.Or(field.EqualsConst(mgr, 7), mgr.VarTrue(33));
+  auto intervals = field.Intervals(mgr, set);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], (Interval{util::U128(), util::U128::Ones(32)}));
 }
 
 TEST(PacketPortLocalizationTest, AffectedDstPorts) {

@@ -570,5 +570,147 @@ policy-options {
   EXPECT_NE(result.diagnostics[0].find("GHOST"), std::string::npos);
 }
 
+TEST(JuniperParserTest, FamilyInet6FilterTerms) {
+  auto config = Parse(R"(
+firewall {
+    family inet6 {
+        filter V6F {
+            term bgp {
+                from {
+                    source-address 2001:db8:1::/48;
+                    protocol tcp;
+                    destination-port 179;
+                }
+                then accept;
+            }
+            term ping {
+                from {
+                    next-header icmp6;
+                    icmpv6-type echo-request;
+                }
+                then accept;
+            }
+            term rest {
+                then discard;
+            }
+        }
+    }
+}
+)");
+  const ir::Acl* acl = config.FindAcl("V6F");
+  ASSERT_NE(acl, nullptr);
+  EXPECT_EQ(acl->family, util::AddressFamily::kIpv6);
+  ASSERT_EQ(acl->lines.size(), 3u);
+  EXPECT_EQ(acl->lines[0].protocol, ir::kProtoTcp);
+  EXPECT_EQ(acl->lines[0].src.family(), util::AddressFamily::kIpv6);
+  ASSERT_TRUE(acl->lines[0].src.AsIpPrefix().has_value());
+  EXPECT_EQ(*acl->lines[0].src.AsIpPrefix(),
+            util::IpPrefix(*util::Prefix6::Parse("2001:db8:1::/48")));
+  EXPECT_EQ(acl->lines[0].dst_ports[0], (ir::PortRange{179, 179}));
+  // next-header is the inet6 spelling of protocol; icmpv6 echo-request is
+  // type 128 (not the v4 type 8).
+  EXPECT_EQ(acl->lines[1].protocol, ir::kProtoIcmpv6);
+  EXPECT_EQ(acl->lines[1].icmp_type, 128);
+  // Unconstrained terms default to the filter's family universe.
+  EXPECT_TRUE(acl->lines[2].src.IsAny());
+  EXPECT_EQ(acl->lines[2].src.family(), util::AddressFamily::kIpv6);
+}
+
+TEST(JuniperParserTest, InetAndInet6FiltersCoexist) {
+  auto config = Parse(R"(
+firewall {
+    family inet {
+        filter F4 {
+            term t { from { source-address 10.0.0.0/8; } then accept; }
+        }
+    }
+    family inet6 {
+        filter F6 {
+            term t { from { source-address 2001:db8::/32; } then accept; }
+        }
+    }
+}
+)");
+  const ir::Acl* f4 = config.FindAcl("F4");
+  const ir::Acl* f6 = config.FindAcl("F6");
+  ASSERT_NE(f4, nullptr);
+  ASSERT_NE(f6, nullptr);
+  EXPECT_EQ(f4->family, util::AddressFamily::kIpv4);
+  EXPECT_EQ(f6->family, util::AddressFamily::kIpv6);
+}
+
+TEST(JuniperParserTest, Inet6PrefixListAndRouteFilter) {
+  auto config = Parse(R"(
+policy-options {
+    prefix-list NETS6 {
+        2001:db8:9::/48;
+        2001:db8:100::/48;
+    }
+    policy-statement P {
+        term a {
+            from {
+                route-filter 2001:db8::/32 orlonger;
+            }
+            then accept;
+        }
+    }
+}
+)");
+  const ir::PrefixList* list = config.FindPrefixList("NETS6");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->family, util::AddressFamily::kIpv6);
+  ASSERT_EQ(list->entries.size(), 2u);
+  EXPECT_EQ(list->entries[0].range,
+            PrefixRange(*util::Prefix6::Parse("2001:db8:9::/48"), 48, 48));
+  const ir::RouteMap* map = config.FindRouteMap("P");
+  ASSERT_NE(map, nullptr);
+  // orlonger on a v6 route-filter must run to /128, not /32. Route filters
+  // lower to synthesized prefix lists; follow the reference.
+  ASSERT_EQ(map->clauses[0].matches.size(), 1u);
+  ASSERT_EQ(map->clauses[0].matches[0].names.size(), 1u);
+  const ir::PrefixList* lowered =
+      config.FindPrefixList(map->clauses[0].matches[0].names[0]);
+  ASSERT_NE(lowered, nullptr);
+  EXPECT_EQ(lowered->family, util::AddressFamily::kIpv6);
+  ASSERT_EQ(lowered->entries.size(), 1u);
+  EXPECT_EQ(lowered->entries[0].range,
+            PrefixRange(*util::Prefix6::Parse("2001:db8::/32"), 32, 128));
+}
+
+TEST(JuniperParserTest, MixedFamilyPrefixListDiagnosed) {
+  auto result = ParseJuniperConfig(R"(
+policy-options {
+    prefix-list MIXED {
+        2001:db8::/32;
+        10.0.0.0/8;
+    }
+}
+)",
+                                   "x.conf");
+  const ir::PrefixList* list = result.config.FindPrefixList("MIXED");
+  ASSERT_NE(list, nullptr);
+  // First entry fixes the family; the v4 straggler is diagnosed, not kept.
+  EXPECT_EQ(list->family, util::AddressFamily::kIpv6);
+  EXPECT_EQ(list->entries.size(), 1u);
+  ASSERT_FALSE(result.diagnostics.empty());
+  EXPECT_NE(result.diagnostics[0].find("famil"), std::string::npos);
+}
+
+TEST(JuniperParserTest, UnsupportedFirewallFamilyDiagnosed) {
+  auto result = ParseJuniperConfig(R"(
+firewall {
+    family mpls {
+        filter M {
+            term t { then accept; }
+        }
+    }
+}
+)",
+                                   "x.conf");
+  EXPECT_EQ(result.config.FindAcl("M"), nullptr);
+  ASSERT_FALSE(result.diagnostics.empty());
+  EXPECT_NE(result.diagnostics[0].find("family"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace campion::juniper

@@ -187,5 +187,103 @@ TEST(UnparseConfigTest, GroupsNeighborsByTypeAndAs) {
   EXPECT_EQ(back->remote_as, 65000u);
 }
 
+TEST(UnparseRouteFilterTest, Ipv6WindowModesRoundTrip) {
+  ir::RouterConfig config;
+  ir::PrefixList list;
+  list.name = "W6";
+  list.family = util::AddressFamily::kIpv6;
+  auto base = *util::Prefix6::Parse("2001:db8::/32");
+  list.entries.push_back(
+      {ir::LineAction::kPermit, PrefixRange(base, 32, 32), {}});    // exact
+  list.entries.push_back(
+      {ir::LineAction::kPermit, PrefixRange(base, 32, 128), {}});   // orlonger
+  list.entries.push_back(
+      {ir::LineAction::kPermit, PrefixRange(base, 33, 128), {}});   // longer
+  list.entries.push_back(
+      {ir::LineAction::kPermit, PrefixRange(base, 32, 64), {}});    // upto
+  config.prefix_lists["W6"] = list;
+
+  ir::RouteMap map;
+  map.name = "POL6";
+  ir::RouteMapClause clause;
+  clause.action = ir::ClauseAction::kPermit;
+  ir::RouteMapMatch match;
+  match.kind = ir::RouteMapMatch::Kind::kPrefixList;
+  match.names = {"W6"};
+  clause.matches.push_back(match);
+  map.clauses.push_back(clause);
+  map.default_action = ir::ClauseAction::kDeny;
+  config.route_maps["POL6"] = map;
+  config.vendor = ir::Vendor::kJuniper;
+  config.hostname = "j";
+
+  std::string text = UnparseJuniperConfig(config);
+  // orlonger/longer are recognized against the v6 ceiling (128), not 32.
+  EXPECT_NE(text.find("route-filter 2001:db8::/32 exact"), std::string::npos);
+  EXPECT_NE(text.find("route-filter 2001:db8::/32 orlonger"),
+            std::string::npos);
+  EXPECT_NE(text.find("route-filter 2001:db8::/32 longer"),
+            std::string::npos);
+  EXPECT_NE(text.find("route-filter 2001:db8::/32 upto /64"),
+            std::string::npos);
+
+  auto parsed = ParseJuniperConfig(text, "t.conf");
+  const ir::RouteMap* back = parsed.config.FindRouteMap("POL6");
+  ASSERT_NE(back, nullptr);
+  const auto& names = back->clauses[0].matches[0].names;
+  ASSERT_EQ(names.size(), 4u);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const ir::PrefixList* lowered = parsed.config.FindPrefixList(names[i]);
+    ASSERT_NE(lowered, nullptr);
+    EXPECT_EQ(lowered->family, util::AddressFamily::kIpv6) << i;
+    EXPECT_EQ(lowered->entries[0].range, list.entries[i].range) << i;
+  }
+}
+
+TEST(UnparseFilterTest, Inet6FilterRoundTrips) {
+  ir::RouterConfig config;
+  config.vendor = ir::Vendor::kJuniper;
+  config.hostname = "j";
+  ir::Acl acl;
+  acl.name = "F6";
+  acl.family = util::AddressFamily::kIpv6;
+  ir::AclLine line;
+  line.src = util::IpWildcard(*util::Prefix6::Parse("2001:db8:1::/48"));
+  line.dst = util::IpWildcard::AnyOf(util::AddressFamily::kIpv6);
+  line.protocol = ir::kProtoTcp;
+  line.dst_ports.push_back({179, 179});
+  acl.lines.push_back(line);
+  config.acls["F6"] = acl;
+
+  std::string text = UnparseJuniperConfig(config);
+  EXPECT_NE(text.find("family inet6"), std::string::npos);
+  EXPECT_NE(text.find("source-address 2001:db8:1::/48;"), std::string::npos);
+
+  auto parsed = ParseJuniperConfig(text, "t.conf");
+  const ir::Acl* back = parsed.config.FindAcl("F6");
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->family, util::AddressFamily::kIpv6);
+  ASSERT_EQ(back->lines.size(), 1u);
+  EXPECT_EQ(back->lines[0].src, acl.lines[0].src);
+  EXPECT_EQ(back->lines[0].dst, acl.lines[0].dst);
+  EXPECT_EQ(back->lines[0].protocol, acl.lines[0].protocol);
+  EXPECT_EQ(back->lines[0].dst_ports, acl.lines[0].dst_ports);
+}
+
+TEST(UnparseFilterTest, V4OnlyConfigEmitsNoInet6Block) {
+  ir::RouterConfig config;
+  config.vendor = ir::Vendor::kJuniper;
+  config.hostname = "j";
+  ir::Acl acl;
+  acl.name = "F4";
+  ir::AclLine line;
+  line.src = util::IpWildcard(*Prefix::Parse("10.0.0.0/8"));
+  acl.lines.push_back(line);
+  config.acls["F4"] = acl;
+  std::string text = UnparseJuniperConfig(config);
+  EXPECT_NE(text.find("family inet {"), std::string::npos);
+  EXPECT_EQ(text.find("family inet6"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace campion::juniper

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 namespace campion::util {
 namespace {
 
@@ -165,6 +167,140 @@ TEST(IpWildcardTest, AsPrefixRoundTrip) {
 TEST(IpWildcardTest, ToStringFormat) {
   IpWildcard w(Ipv4Address(9, 140, 0, 0), 0x000001FFu);
   EXPECT_EQ(w.ToString(), "9.140.0.0 0.0.1.255");
+}
+
+// Regression: dotted-quad octets and prefix lengths with leading zeros
+// ("010" reads as octal to historic tools) must be rejected, matching
+// inet_pton. ParseDecimal previously accepted them as decimal, so
+// "010.0.0.1" silently parsed as 10.0.0.1.
+TEST(Ipv4AddressTest, ParseRejectsLeadingZeros) {
+  EXPECT_FALSE(Ipv4Address::Parse("010.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("10.01.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("10.0.0.00").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/08").has_value());
+  EXPECT_TRUE(Ipv4Address::Parse("0.0.0.0").has_value());  // Bare zero is fine.
+  EXPECT_TRUE(Prefix::Parse("0.0.0.0/0").has_value());
+}
+
+TEST(Ipv6AddressTest, ParseBasicForms) {
+  auto a = Ipv6Address::Parse("2001:db8::1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->bits(), U128(0x20010db800000000ull, 1));
+
+  EXPECT_EQ(Ipv6Address::Parse("::")->bits(), U128());
+  EXPECT_EQ(Ipv6Address::Parse("::1")->bits(), U128(0, 1));
+  EXPECT_EQ(Ipv6Address::Parse("ff02::")->bits(),
+            U128(0xff02000000000000ull, 0));
+  // All eight groups, no compression.
+  EXPECT_EQ(Ipv6Address::Parse("1:2:3:4:5:6:7:8")->bits(),
+            U128(0x0001000200030004ull, 0x0005000600070008ull));
+  // Embedded dotted-quad in the last two groups.
+  EXPECT_EQ(Ipv6Address::Parse("::ffff:10.0.0.1")->bits(),
+            U128(0, 0xffff0a000001ull));
+}
+
+TEST(Ipv6AddressTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv6Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse(":").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3:4:5:6:7").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("1::2::3").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("12345::").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("g::").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("2001:db8::1 ").has_value());
+}
+
+TEST(Ipv6AddressTest, ToStringRfc5952Canonical) {
+  // Lowercase, longest zero run compressed, leftmost on ties, no
+  // compression of a single zero group.
+  EXPECT_EQ(Ipv6Address().ToString(), "::");
+  EXPECT_EQ(Ipv6Address(U128(0, 1)).ToString(), "::1");
+  EXPECT_EQ(Ipv6Address::Parse("2001:DB8::1")->ToString(), "2001:db8::1");
+  EXPECT_EQ(Ipv6Address::Parse("2001:db8:0:1:1:1:1:1")->ToString(),
+            "2001:db8:0:1:1:1:1:1");
+  EXPECT_EQ(Ipv6Address::Parse("2001:0:0:1:0:0:0:1")->ToString(),
+            "2001:0:0:1::1");
+  EXPECT_EQ(Ipv6Address::Parse("1:0:0:2:0:0:3:4")->ToString(),
+            "1::2:0:0:3:4");
+}
+
+// Randomized RFC 5952 round-trip oracle: for any 128-bit value, ToString
+// must re-parse to the same bits (canonical text is lossless).
+TEST(Ipv6AddressTest, RandomizedRoundTrip) {
+  std::mt19937_64 rng(5952);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Bias toward sparse group patterns so zero-run compression runs often.
+    std::uint64_t hi = rng(), lo = rng();
+    switch (rng() % 4) {
+      case 0: break;                     // Full entropy.
+      case 1: hi &= rng(); lo &= rng(); [[fallthrough]];
+      case 2: hi &= rng(); lo &= rng(); break;
+      default: {                         // A few nonzero groups only.
+        hi = lo = 0;
+        for (int g = 0; g < 3; ++g) {
+          int slot = static_cast<int>(rng() % 8);
+          std::uint64_t group = rng() & 0xffff;
+          if (slot < 4) hi |= group << (48 - 16 * slot);
+          else lo |= group << (48 - 16 * (slot - 4));
+        }
+        break;
+      }
+    }
+    Ipv6Address addr(U128(hi, lo));
+    auto back = Ipv6Address::Parse(addr.ToString());
+    ASSERT_TRUE(back.has_value()) << addr.ToString();
+    EXPECT_EQ(back->bits(), addr.bits()) << addr.ToString();
+  }
+}
+
+TEST(Prefix6Test, ParseAndCanonicalize) {
+  auto p = Prefix6::Parse("2001:db8::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 32);
+  EXPECT_EQ(p->ToString(), "2001:db8::/32");
+  // Host bits are zeroed.
+  EXPECT_EQ(Prefix6::Parse("2001:db8::ff/32")->address().bits(),
+            Prefix6::Parse("2001:db8::/32")->address().bits());
+  EXPECT_FALSE(Prefix6::Parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(Prefix6::Parse("2001:db8::").has_value());
+}
+
+TEST(IpPrefixTest, ParseEitherFamily) {
+  auto v4 = IpPrefix::Parse("10.0.0.0/8");
+  ASSERT_TRUE(v4.has_value());
+  EXPECT_EQ(v4->family(), AddressFamily::kIpv4);
+  EXPECT_EQ(v4->ToString(), "10.0.0.0/8");
+
+  auto v6 = IpPrefix::Parse("2001:db8::/32");
+  ASSERT_TRUE(v6.has_value());
+  EXPECT_EQ(v6->family(), AddressFamily::kIpv6);
+  EXPECT_EQ(v6->ToString(), "2001:db8::/32");
+
+  // Containment never crosses families even when the bit patterns align.
+  EXPECT_FALSE(v4->Contains(*v6));
+  EXPECT_FALSE(v6->Contains(*v4));
+}
+
+TEST(IpWildcardTest, Ipv6PrefixShapedWildcard) {
+  IpWildcard w(*Prefix6::Parse("2001:db8::/32"));
+  EXPECT_EQ(w.family(), AddressFamily::kIpv6);
+  EXPECT_TRUE(w.Matches(*Ipv6Address::Parse("2001:db8::1")));
+  EXPECT_FALSE(w.Matches(*Ipv6Address::Parse("2001:db9::1")));
+  // A v4 address never matches a v6 wildcard.
+  EXPECT_FALSE(w.Matches(Ipv4Address(10, 0, 0, 1)));
+  auto back = w.AsIpPrefix();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ToString(), "2001:db8::/32");
+  EXPECT_FALSE(w.AsPrefix().has_value());  // 32-bit view is v4-only.
+}
+
+TEST(IpWildcardTest, AnyOfEachFamily) {
+  EXPECT_TRUE(IpWildcard::AnyOf(AddressFamily::kIpv4).IsAny());
+  EXPECT_TRUE(IpWildcard::AnyOf(AddressFamily::kIpv6).IsAny());
+  EXPECT_EQ(IpWildcard::AnyOf(AddressFamily::kIpv4).family(),
+            AddressFamily::kIpv4);
+  EXPECT_EQ(IpWildcard::AnyOf(AddressFamily::kIpv6).family(),
+            AddressFamily::kIpv6);
 }
 
 }  // namespace

@@ -1,0 +1,135 @@
+#include "util/u128.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace campion::util {
+namespace {
+
+TEST(U128Test, DefaultIsZero) {
+  EXPECT_EQ(U128(), U128(0, 0));
+  EXPECT_EQ(U128().hi(), 0u);
+  EXPECT_EQ(U128().lo(), 0u);
+}
+
+TEST(U128Test, ImplicitFromNarrow) {
+  U128 v = 42u;
+  EXPECT_EQ(v.hi(), 0u);
+  EXPECT_EQ(v.lo(), 42u);
+}
+
+TEST(U128Test, Ones) {
+  EXPECT_EQ(U128::Ones(0), U128());
+  EXPECT_EQ(U128::Ones(1), U128(0, 1));
+  EXPECT_EQ(U128::Ones(64), U128(0, ~0ull));
+  EXPECT_EQ(U128::Ones(65), U128(1, ~0ull));
+  EXPECT_EQ(U128::Ones(128), U128::Max());
+}
+
+// Regression: Ones(64) used to shift a uint64_t by 64 — undefined, and on
+// x86 the runtime result was ~0ull, making Ones(64) == Max() while constant
+// folding of literal arguments gave the right answer. The literal test
+// above therefore passed even when every *runtime* call (as made by
+// SymbolicField::Intervals) was wrong, silently deleting 64-bit-wide
+// blocks from 128-bit interval extraction. The volatile read keeps the
+// argument out of the constant folder.
+TEST(U128Test, OnesWithRuntimeWidth) {
+  for (int i = 0; i <= 128; ++i) {
+    volatile int laundered = i;
+    int n = laundered;
+    U128 expected = n >= 128 ? U128::Max() : (U128(1) << n) - U128(1);
+    EXPECT_EQ(U128::Ones(n), expected) << "n=" << n;
+  }
+}
+
+TEST(U128Test, BitIndexing) {
+  U128 v(1ull << 3, 1ull << 5);
+  EXPECT_TRUE(v.Bit(5));
+  EXPECT_FALSE(v.Bit(6));
+  EXPECT_TRUE(v.Bit(67));
+  EXPECT_FALSE(v.Bit(127));
+}
+
+TEST(U128Test, ShiftAcrossLimbBoundary) {
+  EXPECT_EQ(U128(0, 1) << 64, U128(1, 0));
+  EXPECT_EQ(U128(1, 0) >> 64, U128(0, 1));
+  EXPECT_EQ(U128(0, 1) << 127, U128(1ull << 63, 0));
+  EXPECT_EQ(U128(0, 1) << 128, U128());
+  EXPECT_EQ(U128::Max() >> 128, U128());
+}
+
+TEST(U128Test, AddCarriesAcrossLimbs) {
+  EXPECT_EQ(U128(0, ~0ull) + U128(1), U128(1, 0));
+  EXPECT_EQ(U128::Max() + U128(1), U128());  // Wraps mod 2^128.
+}
+
+TEST(U128Test, SubBorrowsAcrossLimbs) {
+  EXPECT_EQ(U128(1, 0) - U128(1), U128(0, ~0ull));
+  EXPECT_EQ(U128() - U128(1), U128::Max());  // Wraps mod 2^128.
+}
+
+TEST(U128Test, OrderingComparesHiFirst) {
+  EXPECT_LT(U128(0, ~0ull), U128(1, 0));
+  EXPECT_LT(U128(1, 5), U128(1, 6));
+  EXPECT_GT(U128::Max(), U128(~0ull, 0));
+}
+
+TEST(U128Test, ToStringDecimal) {
+  EXPECT_EQ(U128().ToString(), "0");
+  EXPECT_EQ(U128(12345).ToString(), "12345");
+  EXPECT_EQ(U128(0, ~0ull).ToString(), "18446744073709551615");
+  EXPECT_EQ(U128(1, 0).ToString(), "18446744073709551616");
+  EXPECT_EQ(U128::Max().ToString(),
+            "340282366920938463463374607431768211455");
+}
+
+#ifdef __SIZEOF_INT128__
+
+// Randomized oracle against the compiler's native 128-bit integer: every
+// operator U128 defines must agree with `unsigned __int128` bit-for-bit,
+// including the mod-2^128 wraparound of + and -.
+TEST(U128Test, RandomizedOracleAgainstNativeInt128) {
+  using N = unsigned __int128;
+  auto to_native = [](U128 v) {
+    return (static_cast<N>(v.hi()) << 64) | v.lo();
+  };
+  auto from_native = [](N v) {
+    return U128(static_cast<std::uint64_t>(v >> 64),
+                static_cast<std::uint64_t>(v));
+  };
+  std::mt19937_64 rng(20210823);  // Campion's SIGCOMM presentation date.
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Mix full-entropy values with sparse ones so limb boundaries and
+    // carry/borrow chains get hit often.
+    auto draw = [&]() -> U128 {
+      switch (rng() % 4) {
+        case 0: return U128(rng(), rng());
+        case 1: return U128(0, rng());
+        case 2: return U128::Ones(static_cast<int>(rng() % 129));
+        default: return U128(1) << static_cast<int>(rng() % 128);
+      }
+    };
+    U128 a = draw(), b = draw();
+    N na = to_native(a), nb = to_native(b);
+    EXPECT_EQ(a & b, from_native(na & nb));
+    EXPECT_EQ(a | b, from_native(na | nb));
+    EXPECT_EQ(a ^ b, from_native(na ^ nb));
+    EXPECT_EQ(~a, from_native(~na));
+    EXPECT_EQ(a + b, from_native(na + nb));
+    EXPECT_EQ(a - b, from_native(na - nb));
+    EXPECT_EQ(a == b, na == nb);
+    EXPECT_EQ(a < b, na < nb);
+    EXPECT_EQ(a > b, na > nb);
+    int shift = static_cast<int>(rng() % 128);
+    EXPECT_EQ(a << shift, from_native(na << shift));
+    EXPECT_EQ(a >> shift, from_native(na >> shift));
+    int bit = static_cast<int>(rng() % 128);
+    EXPECT_EQ(a.Bit(bit), ((na >> bit) & 1) != 0);
+  }
+}
+
+#endif  // __SIZEOF_INT128__
+
+}  // namespace
+}  // namespace campion::util
